@@ -1,0 +1,269 @@
+package multirag
+
+// This file is the benchmark harness required by DESIGN.md §3: one testing.B
+// target per paper table and figure (run at a reduced scale so `go test
+// -bench=.` completes in minutes — use cmd/benchtables for the full-scale
+// regeneration), ablation benches for the design decisions DESIGN.md §4
+// calls out, and micro-benchmarks for the core data structures.
+
+import (
+	"io"
+	"testing"
+
+	"multirag/internal/adapter"
+	"multirag/internal/bench"
+	"multirag/internal/confidence"
+	"multirag/internal/core"
+	"multirag/internal/datasets"
+	"multirag/internal/kg"
+	"multirag/internal/linegraph"
+	"multirag/internal/llm"
+	"multirag/internal/retrieval"
+)
+
+// benchOpts is the reduced-scale configuration used by the table/figure
+// benchmarks.
+func benchOpts() bench.Options {
+	return bench.Options{Seed: 1, Scale: 0.12, Out: io.Discard}
+}
+
+// --- One bench per table / figure ---
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.TableI(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.TableII(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.TableIII(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.TableIV(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.TableV(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Figure5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Figure6(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Figure7(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) ---
+
+// benchCorpus builds a small fusion corpus once per benchmark.
+func benchCorpus(b *testing.B) *datasets.Dataset {
+	b.Helper()
+	spec := datasets.Movies(5)
+	spec.Entities = 40
+	spec.Queries = 20
+	return datasets.Generate(spec)
+}
+
+func newBenchSystem(b *testing.B, cfg core.Config, files []adapter.RawFile) *core.System {
+	b.Helper()
+	if cfg.LLM == (llm.Config{}) {
+		cfg.LLM = llm.DefaultConfig()
+	}
+	s := core.NewSystem(cfg)
+	if _, err := s.Ingest(files); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkAblationMKA contrasts line-graph lookup against the chunk-and-
+// extract fallback (design decision 1: the line graph is the retrieval
+// structure).
+func BenchmarkAblationMKA(b *testing.B) {
+	d := benchCorpus(b)
+	for _, variant := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"linegraph", core.Config{}},
+		{"chunks", core.Config{DisableMKA: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			s := newBenchSystem(b, variant.cfg, d.Files)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Query(d.Queries[i%len(d.Queries)].Text)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGraphLevel measures the cost of skipping the coarse stage
+// (design decision 2: two-stage confidence).
+func BenchmarkAblationGraphLevel(b *testing.B) {
+	d := benchCorpus(b)
+	for _, variant := range []struct {
+		name string
+		opts confidence.Options
+	}{
+		{"two-stage", confidence.Options{}},
+		{"node-only", confidence.Options{DisableGraphLevel: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			s := newBenchSystem(b, core.Config{Ablation: variant.opts}, d.Files)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Query(d.Queries[i%len(d.Queries)].Text)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNodeLevel measures the fine stage in isolation.
+func BenchmarkAblationNodeLevel(b *testing.B) {
+	d := benchCorpus(b)
+	for _, variant := range []struct {
+		name string
+		opts confidence.Options
+	}{
+		{"full", confidence.Options{}},
+		{"graph-only", confidence.Options{DisableNodeLevel: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			s := newBenchSystem(b, core.Config{Ablation: variant.opts}, d.Files)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Query(d.Queries[i%len(d.Queries)].Text)
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks for the core data structures ---
+
+func benchGraph(b *testing.B) *kg.Graph {
+	b.Helper()
+	d := benchCorpus(b)
+	sys := newBenchSystem(b, core.Config{}, d.Files)
+	return sys.Graph()
+}
+
+func BenchmarkLineGraphBuild(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linegraph.Build(g)
+	}
+}
+
+func BenchmarkLineGraphTransform(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linegraph.Transform(g)
+	}
+}
+
+func BenchmarkMCCRun(b *testing.B) {
+	g := benchGraph(b)
+	sg := linegraph.Build(g)
+	var nodes []*linegraph.HomologousNode
+	for _, n := range sg.Nodes {
+		nodes = append(nodes, n)
+		if len(nodes) == 8 {
+			break
+		}
+	}
+	m := confidence.New(confidence.DefaultConfig(), llm.NewSim(llm.DefaultConfig()), confidence.NewHistoryStore())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(sg, nodes, confidence.Options{})
+	}
+}
+
+func BenchmarkMISimilarity(b *testing.B) {
+	a := []string{"2024-10-01 14:30 departure"}
+	c := []string{"2024-10-01 16:45 departure"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		confidence.Similarity(a, c)
+	}
+}
+
+func BenchmarkRetrievalSearch(b *testing.B) {
+	ix := retrieval.NewIndex(retrieval.DefaultDim)
+	d := benchCorpus(b)
+	fused, err := adapter.NewRegistry().Fuse(d.Files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range fused {
+		for _, c := range core.RenderChunks(n, 64) {
+			ix.Add(c)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(d.Queries[i%len(d.Queries)].Text, 5)
+	}
+}
+
+func BenchmarkAdapterFuse(b *testing.B) {
+	d := benchCorpus(b)
+	reg := adapter.NewRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Fuse(d.Files); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndQuery(b *testing.B) {
+	d := benchCorpus(b)
+	s := newBenchSystem(b, core.Config{}, d.Files)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Query(d.Queries[i%len(d.Queries)].Text)
+	}
+}

@@ -1,0 +1,32 @@
+// Package multirag is a from-scratch Go implementation of MultiRAG, the
+// knowledge-guided framework for mitigating hallucination in multi-source
+// retrieval-augmented generation (Wu et al., ICDE 2025).
+//
+// MultiRAG ingests heterogeneous data sources — structured CSV tables,
+// semi-structured JSON and XML, native knowledge-graph triples and free text
+// — normalises them into linked data, extracts a knowledge graph, and builds
+// a multi-source line graph that aggregates every claim about one (entity,
+// attribute) fact into a homologous subgraph. At query time a multi-level
+// confidence computation (graph-level consistency via normalised mutual
+// information, node-level consistency + authority + source history) filters
+// untrustworthy claims before they reach the language model's context, which
+// is what suppresses retrieval-induced hallucination.
+//
+// # Quick start
+//
+//	sys := multirag.Open(multirag.Config{})
+//	err := sys.IngestFiles(
+//		multirag.File{Domain: "flights", Source: "airline", Name: "live",
+//			Format: "json", Content: []byte(`[{"flight":"CA981","status":"Delayed"}]`)},
+//	)
+//	ans := sys.Ask("What is the status of CA981?")
+//	fmt.Println(ans.Values) // [Delayed]
+//
+// The public API wraps the internal modules: adapters (internal/adapter),
+// the DSM columnar store (internal/dsm), JSON-LD normalisation
+// (internal/jsonld), knowledge-graph storage (internal/kg), the line-graph
+// machinery (internal/linegraph), confidence computing (internal/confidence)
+// and the MKLGP pipeline (internal/core). The language model is a
+// deterministic simulation (internal/llm); see DESIGN.md for the
+// substitution rationale.
+package multirag

@@ -1,0 +1,77 @@
+// Datafusion runs a miniature version of the Table II experiment: it
+// generates a synthetic multi-source movie corpus (13 sources with known
+// reliabilities, copies and surface-form variants), then compares MultiRAG
+// against classic data-fusion answering on the same queries.
+//
+//	go run ./examples/datafusion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multirag"
+	"multirag/internal/datasets"
+	"multirag/internal/eval"
+)
+
+func main() {
+	spec := datasets.Movies(7)
+	spec.Entities = 60
+	spec.Queries = 40
+	d := datasets.Generate(spec)
+	fmt.Printf("generated %q: %d sources, %d claims, %d gold facts, %d queries\n\n",
+		spec.Name, len(spec.Sources), len(d.Claims), len(d.Gold), len(d.Queries))
+
+	sys := multirag.Open(multirag.Config{Seed: 7})
+	var files []multirag.File
+	for _, f := range d.Files {
+		files = append(files, multirag.File{
+			Domain: f.Domain, Source: f.Source, Name: f.Name,
+			Format: f.Format, Meta: f.Meta, Content: f.Content,
+		})
+	}
+	if err := sys.IngestFiles(files...); err != nil {
+		log.Fatalf("ingest: %v", err)
+	}
+	st := sys.Stats()
+	fmt.Printf("knowledge graph: %d entities, %d triples; %d homologous nodes, %d isolated claims\n\n",
+		st.Entities, st.Triples, st.HomologousNodes, st.IsolatedClaims)
+
+	// Naive majority voting over raw claims, for contrast.
+	votes := func(entity, attr string) []string {
+		counts := map[string]int{}
+		repr := map[string]string{}
+		for _, c := range d.Claims {
+			if datasets.GoldKey(c.Entity, c.Attribute) == datasets.GoldKey(entity, attr) {
+				counts[c.Value]++
+				if _, ok := repr[c.Value]; !ok {
+					repr[c.Value] = c.Value
+				}
+			}
+		}
+		best, bestN := "", 0
+		for v, n := range counts {
+			if n > bestN || (n == bestN && v < best) {
+				best, bestN = v, n
+			}
+		}
+		if best == "" {
+			return nil
+		}
+		return []string{repr[best]}
+	}
+
+	var ours, naive eval.Mean
+	for _, q := range d.Queries {
+		ans := sys.Ask(q.Text)
+		_, _, f1 := eval.PRF1(ans.Values, q.Gold)
+		ours.Add(f1)
+		_, _, nf1 := eval.PRF1(votes(q.Entity, q.Attribute), q.Gold)
+		naive.Add(nf1)
+	}
+	fmt.Printf("fusion F1 over %d queries:\n", len(d.Queries))
+	fmt.Printf("  MultiRAG (MKA + MCC): %.1f%%\n", ours.Value()*100)
+	fmt.Printf("  majority vote:        %.1f%%\n", naive.Value()*100)
+	fmt.Println("\n(multi-truth facts and copied-source errors are what separate the two)")
+}

@@ -1,0 +1,58 @@
+// Multihop demonstrates the two-hop QA pathway over a distractor-laden
+// corpus with a poisoned bridge: a forum document claims a decoy author, and
+// the decoy has its own plausible biography. Confidence filtering keeps the
+// reasoning chain on the trustworthy branch.
+//
+//	go run ./examples/multihop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multirag"
+)
+
+func main() {
+	sys := multirag.Open(multirag.Config{Seed: 4})
+
+	err := sys.IngestFiles(
+		multirag.File{Domain: "wiki", Source: "wiki", Name: "work", Format: "text",
+			Content: []byte("The Hollow Citadel is a celebrated novel. " +
+				"The author of The Hollow Citadel is Imani Okafor.")},
+		multirag.File{Domain: "wiki", Source: "wiki", Name: "author", Format: "text",
+			Content: []byte("Imani Okafor is known as the author of The Hollow Citadel. " +
+				"The birthplace of Imani Okafor is Nairobi.")},
+		// The poisoned branch: a forum claims a decoy author...
+		multirag.File{Domain: "wiki", Source: "forum-fan", Name: "rumor", Format: "text",
+			Content: []byte("According to fan forums, the author of The Hollow Citadel is Sven Rossi.")},
+		// ...and the decoy has a biography of their own.
+		multirag.File{Domain: "wiki", Source: "forum-fan", Name: "decoy-bio", Format: "text",
+			Content: []byte("Sven Rossi is discussed online. The birthplace of Sven Rossi is Oslo.")},
+		// Neutral distractors.
+		multirag.File{Domain: "wiki", Source: "wiki", Name: "other", Format: "text",
+			Content: []byte("The Radiant Meridian is another novel. " +
+				"The birthplace of its protagonist is unknown. " +
+				"The author of The Radiant Meridian is Tara Weber.")},
+	)
+	if err != nil {
+		log.Fatalf("ingest: %v", err)
+	}
+
+	q := "What is the birthplace of the author of The Hollow Citadel?"
+	ans := sys.Ask(q)
+	fmt.Printf("Q: %s\n", q)
+	fmt.Printf("A: %v   (intent: %s)\n\n", ans.Values, ans.Intent)
+
+	fmt.Println("hop evidence accepted by confidence filtering:")
+	for _, ev := range ans.Trusted {
+		fmt.Printf("  %-14s from %-10s confidence %.2f\n", ev.Value, ev.Source, ev.Confidence)
+	}
+	fmt.Printf("rejected claims (decoy branch): %d\n\n", ans.Rejected)
+
+	docs := sys.Retrieve(q, 3)
+	fmt.Println("top supporting documents:")
+	for i, d := range docs {
+		fmt.Printf("  %d. %s\n", i+1, d)
+	}
+}

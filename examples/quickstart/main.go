@@ -1,0 +1,56 @@
+// Quickstart: ingest three heterogeneous sources about one flight — one of
+// which is wrong — and watch multi-level confidence computing suppress the
+// conflicting claim.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multirag"
+)
+
+func main() {
+	sys := multirag.Open(multirag.Config{Seed: 1})
+
+	err := sys.IngestFiles(
+		// Structured: the airport's departure table (CSV → DSM columnar).
+		multirag.File{
+			Domain: "flights", Source: "airport-api", Name: "schedule", Format: "csv",
+			Content: []byte("flight,origin,destination,status\nCA981,PEK,JFK,Delayed\n"),
+		},
+		// Semi-structured: the airline's live feed (nested JSON).
+		multirag.File{
+			Domain: "flights", Source: "airline-app", Name: "live", Format: "json",
+			Content: []byte(`[{"flight":"CA981","status":"Delayed","delay_reason":"Typhoon"}]`),
+		},
+		// Unstructured: a weather bulletin (free text, LLM-extracted).
+		multirag.File{
+			Domain: "flights", Source: "weather-feed", Name: "alerts", Format: "text",
+			Content: []byte("Typhoon Haikui impacts PEK departures. The status of CA981 is Delayed."),
+		},
+		// A conflicting community claim.
+		multirag.File{
+			Domain: "flights", Source: "forum-user", Name: "posts", Format: "text",
+			Content: []byte("The status of CA981 is On time."),
+		},
+	)
+	if err != nil {
+		log.Fatalf("ingest: %v", err)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("corpus: %d entities, %d triples, %d homologous nodes\n\n",
+		st.Entities, st.Triples, st.HomologousNodes)
+
+	ans := sys.Ask("What is the status of CA981?")
+	fmt.Printf("Q: What is the status of CA981?\n")
+	fmt.Printf("A: %v\n\n", ans.Values)
+	fmt.Println("trusted evidence:")
+	for _, ev := range ans.Trusted {
+		fmt.Printf("  %-10s from %-14s confidence %.2f\n", ev.Value, ev.Source, ev.Confidence)
+	}
+	fmt.Printf("rejected conflicting claims: %d\n", ans.Rejected)
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"multirag/internal/datasets"
+)
+
+// tinyOpts runs every experiment end to end at a tiny scale — a smoke test
+// that the full harness stays wired together.
+func tinyOpts(sb *strings.Builder) Options {
+	return Options{Seed: 2, Scale: 0.06, Out: sb}
+}
+
+func TestTableISmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := TableI(tinyOpts(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"movies", "books", "flights", "stocks", "JSON(J)", "KG(K)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIISmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := TableII(tinyOpts(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"TF F1/%", "FusionQuery", "MCC F1/%", "movies", "stocks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table II output missing %q", want)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 12 {
+		t.Fatalf("Table II too short: %d lines", lines)
+	}
+}
+
+func TestTableIIISmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := TableIII(tinyOpts(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"w/o MKA", "w/o Graph Level", "w/o Node Level", "w/o MCC", "PT/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table III output missing %q", want)
+		}
+	}
+}
+
+func TestTableIVSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := TableIV(tinyOpts(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Standard RAG", "MetaRAG", "MultiRAG", "HotpotQA P", "R@5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table IV output missing %q", want)
+		}
+	}
+}
+
+func TestTableVSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := TableV(tinyOpts(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"CA981", "trusted", "Delayed", "filtered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table V output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFiguresSmoke(t *testing.T) {
+	for name, run := range map[string]func(Options) error{
+		"fig5": Figure5, "fig6": Figure6, "fig7": Figure7,
+	} {
+		var sb strings.Builder
+		if err := run(tinyOpts(&sb)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(sb.String(), "Figure") {
+			t.Fatalf("%s produced no figure output", name)
+		}
+	}
+}
+
+func TestDatasetCacheReuses(t *testing.T) {
+	c := datasetCache{}
+	o := Options{Seed: 2, Scale: 0.06}
+	a, err := c.get("movies", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.get("movies", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache must return the same dataset instance")
+	}
+	if _, err := c.get("nonexistent", o); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestFmtSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0.333:  "0.33",
+		9.99:   "9.99",
+		42.123: "42.1",
+		1234.6: "1235",
+	}
+	for in, want := range cases {
+		if got := fmtSeconds(in); got != want {
+			t.Errorf("fmtSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestScaleSpecFloors(t *testing.T) {
+	o := Options{Scale: 0.0001}
+	spec := o.scaleSpec(datasets.Movies(1))
+	if spec.Entities < 8 || spec.Queries < 5 {
+		t.Fatalf("scaling must floor workload sizes: %+v", spec)
+	}
+	qa := o.scaleQA(datasets.Hotpot(1))
+	if qa.Questions < 5 {
+		t.Fatalf("QA scaling must floor question count: %+v", qa)
+	}
+}
+
+func TestQueriesForFiltersByFormat(t *testing.T) {
+	spec := datasets.Movies(3)
+	spec.Entities = 30
+	spec.Queries = 20
+	d := datasets.Generate(spec)
+	all := d.QueriesFor("J/K/C", 20)
+	jk := d.QueriesFor("J/K", 20)
+	if len(jk) == 0 || len(all) == 0 {
+		t.Fatal("workloads must not be empty")
+	}
+	// Every J/K query must have a correct claim among J/K sources.
+	formatOf := map[string]string{}
+	for _, s := range spec.Sources {
+		formatOf[s.Name] = s.Format
+	}
+	for _, q := range jk {
+		ok := false
+		for _, c := range d.Claims {
+			if c.Correct &&
+				datasets.GoldKey(c.Entity, c.Attribute) == datasets.GoldKey(q.Entity, q.Attribute) &&
+				(formatOf[c.Source] == "json" || formatOf[c.Source] == "kg") {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("query %s not answerable from J/K sources", q.ID)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+
+	"multirag/internal/adapter"
+	"multirag/internal/confidence"
+	"multirag/internal/core"
+	"multirag/internal/kg"
+	"multirag/internal/llm"
+)
+
+// caseStudyFiles reproduces the Table V corpus: structured flight schedules,
+// semi-structured airline data, unstructured weather alerts and a conflicting
+// forum claim about flight CA981.
+func caseStudyFiles() []adapter.RawFile {
+	return []adapter.RawFile{
+		{Domain: "flights", Source: "airport-api", Name: "schedule", Format: "csv",
+			Content: []byte("flight,origin,destination,status,departure_time\nCA981,PEK,JFK,Delayed,2024-10-01 14:30\n")},
+		{Domain: "flights", Source: "airline-app", Name: "live", Format: "json",
+			Content: []byte(`[{"flight":"CA981","status":"Delayed","delay_reason":"Typhoon"}]`)},
+		{Domain: "flights", Source: "weather-feed", Name: "alerts", Format: "text",
+			Content: []byte("Typhoon Haikui impacts PEK departures. The status of CA981 is Delayed. The delay reason of CA981 is Typhoon.")},
+		{Domain: "flights", Source: "forum-user", Name: "posts", Format: "text",
+			Content: []byte("The status of CA981 is On time.")},
+	}
+}
+
+// TableV walks through the CA981 case study, printing the MLG subgraph, the
+// MCC verdicts with and without graph-level confidence computing, and the
+// final answers — the analogue of the paper's Table V.
+func TableV(o Options) error {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	w := o.Out
+	fmt.Fprintln(w, "Table V: Case study — real-time status of Air China flight CA981 (PEK → JFK)")
+	fmt.Fprintln(w)
+	query := "What is the real-time status of CA981?"
+	fmt.Fprintf(w, "Query: %q\n\n", query)
+
+	run := func(label string, ablation confidence.Options) (*core.System, core.Answer) {
+		s := core.NewSystem(core.Config{
+			LLM:      llm.Config{Seed: seed, ExtractionNoise: 0},
+			Ablation: ablation,
+		})
+		if _, err := s.Ingest(caseStudyFiles()); err != nil {
+			panic(fmt.Sprintf("case study ingest: %v", err))
+		}
+		return s, s.Query(query)
+	}
+
+	s, ans := run("full", confidence.Options{})
+
+	fmt.Fprintln(w, "MKA module — extracted homologous subgraph for (CA981, status):")
+	node, ok := s.SG().Lookup(kg.CanonicalID("CA981"), "status")
+	if ok {
+		for _, t := range s.SG().MemberTriples(node) {
+			fmt.Fprintf(w, "  (%s, status, %-8s)  source=%-12s weight=%.2f\n",
+				"CA981", t.Object, t.Source, t.Weight)
+		}
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "MCC module — with graph-level confidence computing (GCC):")
+	for i, gc := range ans.GraphConfidences {
+		fmt.Fprintf(w, "  candidate subgraph %d: C(G) = %.2f (threshold %.2f)\n",
+			i+1, gc, s.MCC().Config().GraphThreshold)
+	}
+	for _, tn := range ans.Trusted {
+		fmt.Fprintf(w, "  trusted:  %s = %-8s (source %-12s confidence %.2f)\n",
+			"CA981.status", tn.Triple.Object, tn.Triple.Source, tn.Confidence)
+	}
+	fmt.Fprintf(w, "  rejected: %d conflicting node(s) filtered\n", ans.RejectedCount)
+	fmt.Fprintf(w, "  Final answer: %v\n\n", ans.Values)
+
+	_, bare := run("w/o MCC", confidence.Options{DisableGraphLevel: true, DisableNodeLevel: true})
+	fmt.Fprintln(w, "Without GCC — unfiltered conflict reaches the LLM context:")
+	fmt.Fprintf(w, "  context values: ")
+	for _, tn := range bare.Trusted {
+		fmt.Fprintf(w, "%s(%s) ", tn.Triple.Object, tn.Triple.Source)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  answer w/o confidence filtering: %v\n", bare.Values)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Expected (paper): trusted answer \"Delayed ... due to typhoon\"; the")
+	fmt.Fprintln(w, "forum \"On time\" claim is filtered by the confidence machinery.")
+	return nil
+}

@@ -1,0 +1,379 @@
+package confidence
+
+import (
+	"sort"
+
+	"multirag/internal/kg"
+	"multirag/internal/linegraph"
+	"multirag/internal/llm"
+)
+
+// Config carries the hyper-parameters of §IV-A(c).
+type Config struct {
+	// Alpha balances LLM-assessed authority against historical authority in
+	// Eq. (9). The paper's Fig. 7 peaks at 0.5.
+	Alpha float64
+	// Beta is the steepness of the Eq. (10) sigmoid; the paper sets 0.5.
+	Beta float64
+	// NodeThreshold is θ in Algorithm 1 (paper default 0.7). Note that
+	// C(v) = Sₙ(v) + A(v) lives in [0, 2].
+	NodeThreshold float64
+	// GraphThreshold is the candidate-graph confidence cut-off (paper
+	// default 0.5).
+	GraphThreshold float64
+	// FastPathNodes is how many top members a high-confidence subgraph
+	// contributes directly ("for subgraphs with high confidence, only 1–2
+	// nodes are required", §IV-C). 0 means the default of 2.
+	FastPathNodes int
+}
+
+// DefaultConfig returns the paper's hyper-parameter settings.
+func DefaultConfig() Config {
+	return Config{Alpha: 0.5, Beta: 0.5, NodeThreshold: 0.7, GraphThreshold: 0.5, FastPathNodes: 2}
+}
+
+// Options toggles the ablation switches of Table III.
+type Options struct {
+	// DisableGraphLevel removes the coarse subgraph filter ("w/o Graph
+	// Level"): no candidate subgraph is eliminated and every member is
+	// node-scored.
+	DisableGraphLevel bool
+	// DisableNodeLevel removes the fine filter ("w/o Node Level"): members
+	// of surviving subgraphs pass through unscored.
+	DisableNodeLevel bool
+}
+
+// Disabled reports whether both levels are off ("w/o MCC").
+func (o Options) Disabled() bool { return o.DisableGraphLevel && o.DisableNodeLevel }
+
+// TrustedNode is one retrieval node that survived confidence filtering,
+// with the weight it should carry in the LLM context.
+type TrustedNode struct {
+	Triple     *kg.Triple
+	Confidence float64 // C(v) for node-scored members, C(G)-scaled otherwise
+	// Verified marks nodes that actually passed confidence scoring (fast
+	// path or node-level). Pass-through nodes from ablated configurations
+	// are unverified and reach the LLM context as raw claims.
+	Verified bool
+}
+
+// Assessment is the outcome of MCC for one candidate homologous subgraph.
+type Assessment struct {
+	Node            *linegraph.HomologousNode
+	GraphConfidence float64
+	// EliminatedByGraph marks subgraphs removed by the coarse stage.
+	EliminatedByGraph bool
+	// FastPath marks subgraphs that skipped node-level scoring.
+	FastPath bool
+	Trusted  []TrustedNode
+	Rejected []*kg.Triple
+	// NodeConfidence records C(v) per scored member triple ID.
+	NodeConfidence map[string]float64
+}
+
+// Result aggregates MCC over all candidate subgraphs of one query: SVs is
+// the credible node set, LVs the eliminated one (Algorithm 1's outputs).
+type Result struct {
+	Assessments []Assessment
+	SVs         []TrustedNode
+	LVs         []*kg.Triple
+	// NodesScored counts node-level confidence computations (the expensive
+	// fine-ranking stage) for cost accounting.
+	NodesScored int
+}
+
+// MCC executes multi-level confidence computing. One MCC instance carries
+// the per-deployment state: the expert model and the source history.
+type MCC struct {
+	cfg   Config
+	model llm.Model
+	hist  *HistoryStore
+}
+
+// New builds an MCC engine.
+func New(cfg Config, model llm.Model, hist *HistoryStore) *MCC {
+	if cfg.FastPathNodes <= 0 {
+		cfg.FastPathNodes = 2
+	}
+	if hist == nil {
+		hist = NewHistoryStore()
+	}
+	return &MCC{cfg: cfg, model: model, hist: hist}
+}
+
+// History exposes the underlying history store (for cost accounting and
+// inspection).
+func (m *MCC) History() *HistoryStore { return m.hist }
+
+// Config returns the engine's configuration.
+func (m *MCC) Config() Config { return m.cfg }
+
+// Run implements Algorithm 1's MCC procedure over the candidate homologous
+// subgraphs retrieved for one query.
+//
+// Stage 1 (coarse, graph level): C(G) is computed per candidate (Eq. 7).
+// When at least one candidate clears the graph threshold, candidates below
+// it are eliminated outright — the case-study behaviour where the
+// forum-sourced subgraph is dropped. If no candidate clears the bar, all are
+// retained and handed to the fine stage ("for subgraphs with low confidence,
+// more nodes need to be extracted").
+//
+// Stage 2 (fine, node level): members of surviving high-confidence subgraphs
+// take the fast path (top-FastPathNodes by weight, no scoring); members of
+// low-confidence subgraphs are scored with C(v) = Sₙ(v) + A(v) and filtered
+// by θ. After the query, per-source history is updated with the acceptance
+// outcome (the incremental estimation of Eq. 11).
+func (m *MCC) Run(sg *linegraph.SG, candidates []*linegraph.HomologousNode, opts Options) Result {
+	var res Result
+	if len(candidates) == 0 {
+		return res
+	}
+	// Stage 1: graph-level confidence.
+	type cand struct {
+		node *linegraph.HomologousNode
+		gc   float64
+	}
+	cands := make([]cand, 0, len(candidates))
+	anyAbove := false
+	for _, n := range candidates {
+		gc := m.graphConfidence(sg, n)
+		n.Confidence = gc
+		if gc >= m.cfg.GraphThreshold {
+			anyAbove = true
+		}
+		cands = append(cands, cand{n, gc})
+	}
+	for _, c := range cands {
+		a := Assessment{Node: c.node, GraphConfidence: c.gc, NodeConfidence: map[string]float64{}}
+		members := sg.MemberTriples(c.node)
+		switch {
+		case !opts.DisableGraphLevel && anyAbove && c.gc < m.cfg.GraphThreshold:
+			// Coarse elimination: a more consistent alternative exists.
+			a.EliminatedByGraph = true
+			a.Rejected = members
+		case !opts.DisableGraphLevel && c.gc >= m.cfg.GraphThreshold:
+			// Fast path: consistent subgraph, 1–2 nodes from the dominant
+			// value cluster suffice. This is pure graph-level work, so it
+			// remains active under "w/o Node Level".
+			a.FastPath = true
+			top := topByWeight(majorityCluster(members), m.cfg.FastPathNodes)
+			for _, t := range top {
+				a.Trusted = append(a.Trusted, TrustedNode{Triple: t, Confidence: c.gc * t.Weight, Verified: true})
+			}
+			for _, t := range members {
+				if !containsTriple(top, t) {
+					a.Rejected = append(a.Rejected, t)
+				}
+			}
+		case opts.DisableNodeLevel:
+			// "w/o Node Level": surviving members pass through unscored and
+			// unverified.
+			for _, t := range members {
+				a.Trusted = append(a.Trusted, TrustedNode{Triple: t, Confidence: t.Weight})
+			}
+		default:
+			// Fine stage: score every member.
+			m.scoreMembers(sg, c.node, members, &a)
+			res.NodesScored += len(members)
+		}
+		m.updateHistory(members, a.Trusted)
+		res.Assessments = append(res.Assessments, a)
+		res.SVs = append(res.SVs, a.Trusted...)
+		res.LVs = append(res.LVs, a.Rejected...)
+	}
+	return res
+}
+
+// AssessIsolated handles isolated points (single-claim keys): they cannot be
+// cross-checked, so their confidence is authority-only, damped by the lack
+// of corroboration.
+func (m *MCC) AssessIsolated(sg *linegraph.SG, t *kg.Triple, opts Options) TrustedNode {
+	if opts.Disabled() || opts.DisableNodeLevel {
+		return TrustedNode{Triple: t, Confidence: t.Weight}
+	}
+	auth := m.authority(sg, t, 0, 1)
+	return TrustedNode{Triple: t, Confidence: auth * t.Weight, Verified: true}
+}
+
+// graphConfidence computes Eq. (7) over a homologous subgraph's members.
+func (m *MCC) graphConfidence(sg *linegraph.SG, n *linegraph.HomologousNode) float64 {
+	members := sg.MemberTriples(n)
+	values := make([][]string, len(members))
+	for i, t := range members {
+		values[i] = []string{t.Object}
+	}
+	return GraphConfidence(values)
+}
+
+// scoreMembers runs Algorithm 1's Confidence_Computing over each member:
+// C(v) = Sₙ(v) + A(v), filtered by θ.
+func (m *MCC) scoreMembers(sg *linegraph.SG, n *linegraph.HomologousNode, members []*kg.Triple, a *Assessment) {
+	g := sg.Graph()
+	maxDeg := g.MaxDegree()
+	// Raw expert scores, centred before the sigmoid (Eq. 10). Skipped
+	// entirely when α = 0 (pure historical authority, Fig. 7's left end).
+	raw := make([]float64, len(members))
+	var mean float64
+	if m.cfg.Alpha > 0 {
+		for i, t := range members {
+			raw[i] = m.model.JudgeAuthority(llm.AuthorityContext{
+				NodeID:        t.ID,
+				Source:        t.Source,
+				Degree:        g.Degree(t.Subject),
+				MaxDegree:     maxDeg,
+				LocalStrength: t.Weight,
+				TypeWeight:    typeWeight(g, t),
+				PathSupport:   g.TwoHopPathSupport(t),
+			})
+			mean += raw[i]
+		}
+		mean /= float64(len(members))
+	}
+	for i, t := range members {
+		// Sₙ(v): consistency against peers (Eq. 8).
+		var peers [][]string
+		for j, u := range members {
+			if j != i {
+				peers = append(peers, []string{u.Object})
+			}
+		}
+		sn := NodeConsistency([]string{t.Object}, peers)
+		// A(v) = α·Auth_LLM + (1−α)·Auth_hist (Eq. 9), skipping whichever
+		// component has zero weight (this is what makes α sweep query time,
+		// Fig. 7).
+		var authLLM, authHist float64
+		if m.cfg.Alpha > 0 {
+			authLLM = Sigmoid(m.cfg.Beta, raw[i]-mean)
+		}
+		if m.cfg.Alpha < 1 {
+			authHist = m.hist.Historical(t.Source, []float64{t.Weight}, len(members), 1-m.cfg.Alpha)
+		}
+		av := m.cfg.Alpha*authLLM + (1-m.cfg.Alpha)*authHist
+		cv := sn + av
+		a.NodeConfidence[t.ID] = cv
+		if cv > m.cfg.NodeThreshold {
+			a.Trusted = append(a.Trusted, TrustedNode{Triple: t, Confidence: cv, Verified: true})
+		} else {
+			a.Rejected = append(a.Rejected, t)
+		}
+	}
+	// Robustness rule (§IV-C): a low-confidence subgraph must still yield an
+	// answer candidate. If θ rejected every member, promote the nodes whose
+	// extraction-weighted confidence C(v)·w sits within a small absolute gap
+	// of the best — authority, source history and extraction strength break
+	// ties that consistency alone cannot, while genuine multi-truth pairs
+	// (near-equal scores) are all retained.
+	const promoteGap = 0.02
+	if len(a.Trusted) == 0 && len(members) > 0 {
+		score := func(t *kg.Triple) float64 { return a.NodeConfidence[t.ID] * t.Weight }
+		best := 0.0
+		for _, t := range members {
+			if sc := score(t); sc > best {
+				best = sc
+			}
+		}
+		for _, t := range members {
+			if score(t) >= best-promoteGap {
+				a.Trusted = append(a.Trusted, TrustedNode{Triple: t, Confidence: a.NodeConfidence[t.ID], Verified: true})
+				a.Rejected = removeTriple(a.Rejected, t)
+			}
+		}
+	}
+}
+
+func removeTriple(ts []*kg.Triple, t *kg.Triple) []*kg.Triple {
+	for i, x := range ts {
+		if x.ID == t.ID {
+			return append(ts[:i], ts[i+1:]...)
+		}
+	}
+	return ts
+}
+
+// authority computes A(v) for a lone triple (no peers to centre against).
+func (m *MCC) authority(sg *linegraph.SG, t *kg.Triple, centre float64, queryData int) float64 {
+	g := sg.Graph()
+	var authLLM, authHist float64
+	if m.cfg.Alpha > 0 {
+		raw := m.model.JudgeAuthority(llm.AuthorityContext{
+			NodeID:        t.ID,
+			Source:        t.Source,
+			Degree:        g.Degree(t.Subject),
+			MaxDegree:     g.MaxDegree(),
+			LocalStrength: t.Weight,
+			TypeWeight:    typeWeight(g, t),
+			PathSupport:   g.TwoHopPathSupport(t),
+		})
+		authLLM = Sigmoid(m.cfg.Beta, raw-centre)
+	}
+	if m.cfg.Alpha < 1 {
+		authHist = m.hist.Historical(t.Source, []float64{t.Weight}, queryData, 1-m.cfg.Alpha)
+	}
+	return m.cfg.Alpha*authLLM + (1-m.cfg.Alpha)*authHist
+}
+
+// updateHistory credits each source with its acceptance outcome for this
+// query (incremental estimation, Eq. 11 preamble).
+func (m *MCC) updateHistory(members []*kg.Triple, trusted []TrustedNode) {
+	provided := map[string]int{}
+	accepted := map[string]int{}
+	for _, t := range members {
+		provided[t.Source]++
+	}
+	for _, tn := range trusted {
+		accepted[tn.Triple.Source]++
+	}
+	for src, p := range provided {
+		m.hist.Update(src, p, accepted[src])
+	}
+}
+
+func typeWeight(g *kg.Graph, t *kg.Triple) float64 {
+	if e, ok := g.Entity(t.Subject); ok && e.Type != "" && e.Type != "Entity" {
+		return 0.8 // typed entities carry more schema evidence
+	}
+	return 0.5
+}
+
+// majorityCluster returns the members whose object value belongs to the
+// largest agreement cluster (normalised string equality); ties break toward
+// the lexicographically smaller value for determinism.
+func majorityCluster(members []*kg.Triple) []*kg.Triple {
+	groups := map[string][]*kg.Triple{}
+	for _, t := range members {
+		key := kg.CanonicalID(t.Object)
+		groups[key] = append(groups[key], t)
+	}
+	bestKey := ""
+	for key, g := range groups {
+		if bestKey == "" || len(g) > len(groups[bestKey]) ||
+			(len(g) == len(groups[bestKey]) && key < bestKey) {
+			bestKey = key
+		}
+	}
+	return groups[bestKey]
+}
+
+func topByWeight(members []*kg.Triple, k int) []*kg.Triple {
+	sorted := make([]*kg.Triple, len(members))
+	copy(sorted, members)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Weight != sorted[j].Weight {
+			return sorted[i].Weight > sorted[j].Weight
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+func containsTriple(ts []*kg.Triple, t *kg.Triple) bool {
+	for _, x := range ts {
+		if x.ID == t.ID {
+			return true
+		}
+	}
+	return false
+}

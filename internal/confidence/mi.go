@@ -1,0 +1,166 @@
+// Package confidence implements MultiRAG's multi-level confidence computing
+// (§III-D): mutual-information-entropy similarity between homologous nodes
+// (Eq. 4–6), graph-level confidence (Eq. 7), node-level consistency,
+// authority and historical scores (Eq. 8–11), and the MCC algorithm
+// (Algorithm 1) that filters untrustworthy subgraphs and nodes before their
+// content reaches the LLM context.
+package confidence
+
+import (
+	"math"
+
+	"multirag/internal/textutil"
+)
+
+// Similarity computes S(vi, vj) — the normalised mutual-information-entropy
+// similarity between two attribute-value sets (Eq. 4 and Eq. 5).
+//
+// Construction of the joint distribution p(x, y): the paper defines I(vi,vj)
+// over the joint distribution of the two nodes' attribute-value tokens but
+// leaves the estimator open. We use the maximal-overlap coupling, the joint
+// with marginals p_i and p_j that concentrates as much mass as possible on
+// the diagonal:
+//
+//	p(t, t)  += min(p_i(t), p_j(t))                      (shared content)
+//	p(x, y)  += r_i(x)·r_j(y)/R  for the residual mass    (independent rest)
+//
+// where r_i = p_i − min(p_i, p_j) and R = Σ r_i = Σ r_j. This is a valid
+// joint distribution; identical value sets give I = H (maximal dependence)
+// and disjoint value sets give the independent product (I = 0), exactly the
+// behaviour Eq. 4 is meant to capture.
+//
+// Normalisation: the paper states S ∈ [0,1] but writes S = I/(H_i+H_j),
+// which caps at 1/2 for identical distributions. We use the standard NMI
+// S = 2I/(H_i+H_j) so the stated codomain is exact (DESIGN.md §4.3).
+func Similarity(valuesI, valuesJ []string) float64 {
+	pi := valueDist(valuesI)
+	pj := valueDist(valuesJ)
+	if len(pi) == 0 || len(pj) == 0 {
+		return 0
+	}
+	hi, hj := pi.Entropy(), pj.Entropy()
+	if hi+hj == 0 {
+		// Both are point masses: similarity is identity of the single token.
+		if sameSupport(pi, pj) {
+			return 1
+		}
+		return 0
+	}
+	i := MutualInformation(pi, pj)
+	s := 2 * i / (hi + hj)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// MutualInformation computes I(vi, vj) (Eq. 4) under the maximal-overlap
+// coupling described at Similarity. Both distributions must be normalised.
+func MutualInformation(pi, pj textutil.Dist) float64 {
+	// Diagonal mass.
+	var overlap float64
+	diag := map[string]float64{}
+	for t, p := range pi {
+		if q, ok := pj[t]; ok {
+			m := math.Min(p, q)
+			diag[t] = m
+			overlap += m
+		}
+	}
+	residual := 1 - overlap
+	var info float64
+	// Diagonal terms: p(t,t) log(p(t,t) / (p_i(t) p_j(t))).
+	for t, m := range diag {
+		if m > 0 {
+			info += m * math.Log(m/(pi[t]*pj[t]))
+		}
+	}
+	if residual <= 1e-12 {
+		return info
+	}
+	// Off-diagonal terms: p(x,y) = r_i(x) r_j(y) / R.
+	for x, px := range pi {
+		rx := px - diag[x]
+		if rx <= 0 {
+			continue
+		}
+		for y, py := range pj {
+			ry := py - diag[y]
+			if ry <= 0 {
+				continue
+			}
+			pxy := rx * ry / residual
+			if pxy > 0 {
+				info += pxy * math.Log(pxy/(px*py))
+			}
+		}
+	}
+	return info
+}
+
+// Entropy exposes H(V) (Eq. 6) for a value set.
+func Entropy(values []string) float64 {
+	return valueDist(values).Entropy()
+}
+
+// valueDist builds the token distribution of an attribute-value set.
+func valueDist(values []string) textutil.Dist {
+	var slices [][]string
+	for _, v := range values {
+		toks := textutil.Tokenize(v)
+		if len(toks) > 0 {
+			slices = append(slices, toks)
+		}
+	}
+	return textutil.NewDist(slices...)
+}
+
+func sameSupport(a, b textutil.Dist) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for t := range a {
+		if _, ok := b[t]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// GraphConfidence computes C(G) (Eq. 7): the mean pairwise similarity over
+// all ordered pairs of distinct nodes in a homologous line graph, given each
+// node's attribute-value set. A graph with fewer than two nodes has, by
+// convention, confidence 1 (nothing disagrees with anything).
+func GraphConfidence(nodeValues [][]string) float64 {
+	n := len(nodeValues)
+	if n < 2 {
+		return 1
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			total += Similarity(nodeValues[i], nodeValues[j])
+		}
+	}
+	return total / float64(n*n-n)
+}
+
+// NodeConsistency computes Sₙ(v) (Eq. 8): the mean similarity of v's value
+// set to those of the other nodes carrying the same attribute. With no
+// peers the score is 0 (no corroboration).
+func NodeConsistency(values []string, peers [][]string) float64 {
+	if len(peers) == 0 {
+		return 0
+	}
+	var total float64
+	for _, p := range peers {
+		total += Similarity(values, p)
+	}
+	return total / float64(len(peers))
+}

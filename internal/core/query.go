@@ -1,0 +1,355 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"multirag/internal/confidence"
+	"multirag/internal/kg"
+	"multirag/internal/linegraph"
+	"multirag/internal/llm"
+)
+
+// StageSnapshot records the candidate values visible at one MKLGP stage —
+// the three measurement points of §IV-A(b) (before subgraph filtering,
+// before node filtering, after node filtering).
+type StageSnapshot struct {
+	Stage  string
+	Values []string
+}
+
+// Answer is the result of one MKLGP query.
+type Answer struct {
+	Query     string
+	LogicForm llm.LogicForm
+	// Values is the final trustworthy answer set.
+	Values []string
+	// Trusted is the credible node set SVs that generated the answer.
+	Trusted []confidence.TrustedNode
+	// RejectedCount counts eliminated nodes (LVs).
+	RejectedCount int
+	// GraphConfidences lists C(G) per candidate subgraph.
+	GraphConfidences []float64
+	// Stages holds the three-stage candidate snapshots.
+	Stages []StageSnapshot
+	// Found reports whether any evidence was located.
+	Found bool
+}
+
+// Query executes MKLGP (Algorithm 2) for a natural-language query.
+func (s *System) Query(q string) Answer {
+	lf := s.model.ParseQuery(q) // line 2: logic form generation
+	ans := Answer{Query: q, LogicForm: lf}
+	switch lf.Intent {
+	case "multi_hop":
+		s.answerMultiHop(&ans)
+	case "comparison":
+		s.answerComparison(&ans)
+	default:
+		if len(lf.Entities) > 0 && len(lf.Relations) > 0 {
+			s.answerLookup(&ans, lf.Entities[0], lf.Relations[0])
+		} else {
+			s.answerFallback(&ans, q)
+		}
+	}
+	return ans
+}
+
+// answerLookup resolves a single (entity, attribute) question.
+func (s *System) answerLookup(ans *Answer, entity, relation string) {
+	ev, trusted, rejected, gcs, stages := s.gatherEvidence(ans.Query, entity, relation)
+	ans.Trusted = trusted
+	ans.RejectedCount = rejected
+	ans.GraphConfidences = gcs
+	ans.Stages = stages
+	if len(ev) == 0 {
+		return
+	}
+	ans.Found = true
+	ans.Values = s.model.GenerateAnswer(ans.Query, ev) // line 7: trustworthy answers
+}
+
+// gatherEvidence is the retrieval heart shared by all intents: it returns
+// weighted evidence for (entity, relation) along with the filtering
+// diagnostics. With MKA it is a homologous line-graph lookup plus MCC; w/o
+// MKA it degrades to chunk retrieval with per-query LLM extraction.
+func (s *System) gatherEvidence(query, entity, relation string) (ev []llm.Evidence, trusted []confidence.TrustedNode, rejected int, gcs []float64, stages []StageSnapshot) {
+	if s.cfg.DisableMKA || s.sg == nil {
+		return s.gatherByChunks(query, entity, relation)
+	}
+	subj := kg.CanonicalID(s.model.Standardize(entity))
+	var candidates []*linegraph.HomologousNode
+	if n, ok := s.sg.Lookup(subj, relation); ok {
+		candidates = append(candidates, n)
+	}
+	// Nested attributes flatten to underscore-joined paths
+	// (status → status_state); include them as alternative candidates.
+	for key, n := range s.sg.Nodes {
+		if n.SubjectID == subj && n.Name != relation && strings.HasPrefix(n.Name, relation+"_") {
+			candidates = append(candidates, s.sg.Nodes[key])
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Key < candidates[j].Key })
+
+	// Stage 1 snapshot: everything the candidate subgraphs contain.
+	var stage1 []string
+	for _, n := range candidates {
+		for _, t := range s.sg.MemberTriples(n) {
+			stage1 = append(stage1, t.Object)
+		}
+	}
+	if len(candidates) > 0 {
+		res := s.mcc.Run(s.sg, candidates, s.cfg.Ablation)
+		var stage2 []string
+		for _, a := range res.Assessments {
+			gcs = append(gcs, a.GraphConfidence)
+			if !a.EliminatedByGraph {
+				for _, t := range s.sg.MemberTriples(a.Node) {
+					stage2 = append(stage2, t.Object)
+				}
+			}
+		}
+		trusted = res.SVs
+		rejected = len(res.LVs)
+		var stage3 []string
+		for _, tn := range res.SVs {
+			stage3 = append(stage3, tn.Triple.Object)
+			ev = append(ev, llm.Evidence{Value: tn.Triple.Object, Weight: tn.Confidence, Source: tn.Triple.Source, Verified: tn.Verified})
+		}
+		stages = []StageSnapshot{
+			{Stage: "before-subgraph-filter", Values: stage1},
+			{Stage: "before-node-filter", Values: stage2},
+			{Stage: "after-node-filter", Values: stage3},
+		}
+		return
+	}
+	// No homologous group: try the isolated points.
+	if t, ok := s.sg.LookupIsolated(subj, relation); ok {
+		tn := s.mcc.AssessIsolated(s.sg, t, s.cfg.Ablation)
+		trusted = append(trusted, tn)
+		ev = append(ev, llm.Evidence{Value: t.Object, Weight: tn.Confidence, Source: t.Source, Verified: tn.Verified})
+		vals := []string{t.Object}
+		stages = []StageSnapshot{
+			{Stage: "before-subgraph-filter", Values: vals},
+			{Stage: "before-node-filter", Values: vals},
+			{Stage: "after-node-filter", Values: vals},
+		}
+		return
+	}
+	// Entity or attribute absent from the graph: degrade to chunk retrieval.
+	return s.gatherByChunks(query, entity, relation)
+}
+
+// gatherByChunks is the non-aggregated retrieval path: top-k chunk search,
+// per-query LLM extraction, then confidence filtering over an ad-hoc graph
+// built from the extracted claims (the MCC stages still apply unless
+// ablated). This is both slower (per-query LLM extraction) and lossier
+// (top-k misses sparse evidence) than the line-graph path — the Table III
+// "w/o MKA" behaviour.
+func (s *System) gatherByChunks(query, entity, relation string) (ev []llm.Evidence, trusted []confidence.TrustedNode, rejected int, gcs []float64, stages []StageSnapshot) {
+	k := s.cfg.RetrievalK * 4
+	hits := s.index.Search(query, k)
+	subj := kg.CanonicalID(s.model.Standardize(entity))
+	// Per-query extraction over retrieved chunks.
+	tmp := kg.New()
+	tmp.AddEntity(s.model.Standardize(entity), "Entity", "")
+	var stage1 []string
+	for _, h := range hits {
+		mentions := s.model.ExtractEntities(h.Chunk.Text)
+		spos := s.model.ExtractTriples(h.Chunk.Text, mentions)
+		for _, spo := range spos {
+			if kg.CanonicalID(s.model.Standardize(spo.Subject)) != subj || spo.Predicate != relation {
+				continue
+			}
+			_, err := tmp.AddTriple(kg.Triple{
+				Subject:   subj,
+				Predicate: relation,
+				Object:    spo.Object,
+				Source:    h.Chunk.Source,
+				ChunkID:   h.Chunk.DocID,
+				Weight:    spo.Confidence * (0.5 + 0.5*h.Score),
+			})
+			if err == nil {
+				stage1 = append(stage1, spo.Object)
+			}
+		}
+	}
+	if tmp.NumTriples() == 0 {
+		return nil, nil, 0, nil, nil
+	}
+	adhoc := linegraph.Build(tmp)
+	if n, ok := adhoc.Lookup(subj, relation); ok {
+		res := s.mcc.Run(adhoc, []*linegraph.HomologousNode{n}, s.cfg.Ablation)
+		trusted = res.SVs
+		rejected = len(res.LVs)
+		var stage3 []string
+		for _, a := range res.Assessments {
+			gcs = append(gcs, a.GraphConfidence)
+		}
+		for _, tn := range res.SVs {
+			stage3 = append(stage3, tn.Triple.Object)
+			ev = append(ev, llm.Evidence{Value: tn.Triple.Object, Weight: tn.Confidence, Source: tn.Triple.Source, Verified: tn.Verified})
+		}
+		stages = []StageSnapshot{
+			{Stage: "before-subgraph-filter", Values: stage1},
+			{Stage: "before-node-filter", Values: stage1},
+			{Stage: "after-node-filter", Values: stage3},
+		}
+		return
+	}
+	// Single extracted claim.
+	for _, id := range tmp.TripleIDs() {
+		t, _ := tmp.Triple(id)
+		tn := s.mcc.AssessIsolated(adhoc, t, s.cfg.Ablation)
+		trusted = append(trusted, tn)
+		ev = append(ev, llm.Evidence{Value: t.Object, Weight: tn.Confidence, Source: t.Source, Verified: tn.Verified})
+	}
+	stages = []StageSnapshot{{Stage: "before-subgraph-filter", Values: stage1}}
+	return
+}
+
+// answerMultiHop resolves bridge questions: entity —rel₁→ bridge —rel₂→ ans.
+func (s *System) answerMultiHop(ans *Answer) {
+	lf := ans.LogicForm
+	if len(lf.Entities) == 0 || len(lf.Relations) < 2 {
+		s.answerFallback(ans, ans.Query)
+		return
+	}
+	entity, rel1, rel2 := lf.Entities[0], lf.Relations[0], lf.Relations[1]
+	// Hop 1: find the bridge entity.
+	hop1Q := "What is the " + strings.ReplaceAll(rel1, "_", " ") + " of " + entity + "?"
+	ev1, trusted1, rej1, gcs1, _ := s.gatherEvidence(hop1Q, entity, rel1)
+	ans.Trusted = append(ans.Trusted, trusted1...)
+	ans.RejectedCount += rej1
+	ans.GraphConfidences = append(ans.GraphConfidences, gcs1...)
+	if len(ev1) == 0 {
+		return
+	}
+	bridges := s.model.GenerateAnswer(hop1Q, ev1)
+	// Hop 2: resolve the target attribute of each bridge (first success wins;
+	// multi-truth bridges merge their answers).
+	var ev2 []llm.Evidence
+	for _, bridge := range bridges {
+		hop2Q := "What is the " + strings.ReplaceAll(rel2, "_", " ") + " of " + bridge + "?"
+		ev, trusted2, rej2, gcs2, _ := s.gatherEvidence(hop2Q, bridge, rel2)
+		ans.Trusted = append(ans.Trusted, trusted2...)
+		ans.RejectedCount += rej2
+		ans.GraphConfidences = append(ans.GraphConfidences, gcs2...)
+		ev2 = append(ev2, ev...)
+	}
+	if len(ev2) == 0 {
+		return
+	}
+	ans.Found = true
+	ans.Values = s.model.GenerateAnswer(ans.Query, ev2)
+}
+
+// answerComparison resolves "do X and Y have the same attr?" questions.
+func (s *System) answerComparison(ans *Answer) {
+	lf := ans.LogicForm
+	if len(lf.Entities) < 2 || len(lf.Relations) == 0 {
+		s.answerFallback(ans, ans.Query)
+		return
+	}
+	rel := lf.Relations[0]
+	resolve := func(entity string) []string {
+		q := "What is the " + strings.ReplaceAll(rel, "_", " ") + " of " + entity + "?"
+		ev, trusted, rej, gcs, _ := s.gatherEvidence(q, entity, rel)
+		ans.Trusted = append(ans.Trusted, trusted...)
+		ans.RejectedCount += rej
+		ans.GraphConfidences = append(ans.GraphConfidences, gcs...)
+		if len(ev) == 0 {
+			return nil
+		}
+		return s.model.GenerateAnswer(q, ev)
+	}
+	v1 := resolve(lf.Entities[0])
+	v2 := resolve(lf.Entities[1])
+	if v1 == nil || v2 == nil {
+		return
+	}
+	ans.Found = true
+	set := map[string]bool{}
+	for _, v := range v1 {
+		set[kg.CanonicalID(v)] = true
+	}
+	same := false
+	for _, v := range v2 {
+		if set[kg.CanonicalID(v)] {
+			same = true
+		}
+	}
+	if same {
+		ans.Values = []string{"yes"}
+	} else {
+		ans.Values = []string{"no"}
+	}
+}
+
+// answerFallback handles unparsed queries via pure chunk retrieval.
+func (s *System) answerFallback(ans *Answer, q string) {
+	hits := s.index.Search(q, s.cfg.RetrievalK)
+	var ev []llm.Evidence
+	for _, h := range hits {
+		ev = append(ev, llm.Evidence{Value: h.Chunk.Text, Weight: h.Score, Source: h.Chunk.Source})
+	}
+	if len(ev) == 0 {
+		return
+	}
+	ans.Found = true
+	ans.Values = s.model.GenerateAnswer(q, ev)
+}
+
+// RetrieveDocs returns the top-k document IDs for a query, ranked by the
+// trusted-evidence pathway when available and by dense similarity otherwise.
+// It backs the Recall@5 evaluation of Table IV.
+func (s *System) RetrieveDocs(q string, k int) []string {
+	_, docs := s.QueryWithDocs(q, k)
+	return docs
+}
+
+// QueryWithDocs runs the query once and returns both the answer and the
+// ranked supporting documents (avoiding the double evaluation RetrieveDocs
+// would otherwise incur in benchmarks).
+func (s *System) QueryWithDocs(q string, k int) (Answer, []string) {
+	ans := s.Query(q)
+	var ranked []string
+	seen := map[string]bool{}
+	// Trusted triples first, in confidence order.
+	tns := make([]confidence.TrustedNode, len(ans.Trusted))
+	copy(tns, ans.Trusted)
+	sort.SliceStable(tns, func(i, j int) bool { return tns[i].Confidence > tns[j].Confidence })
+	for _, tn := range tns {
+		doc := docOfChunk(tn.Triple.ChunkID)
+		if doc != "" && !seen[doc] {
+			seen[doc] = true
+			ranked = append(ranked, doc)
+		}
+	}
+	// Fill with dense hits.
+	for _, h := range s.index.Search(q, k*2) {
+		doc := docOfChunk(h.Chunk.DocID)
+		if doc != "" && !seen[doc] {
+			seen[doc] = true
+			ranked = append(ranked, doc)
+		}
+	}
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ans, ranked
+}
+
+// docOfChunk strips the record/paragraph suffix from a jsonld document ID,
+// recovering the ingested file identity ("domain/source/name#hash").
+func docOfChunk(chunkID string) string {
+	if chunkID == "" {
+		return ""
+	}
+	if i := strings.Index(chunkID, "#"); i >= 0 {
+		if j := strings.Index(chunkID[i:], "/"); j >= 0 {
+			return chunkID[:i+j]
+		}
+	}
+	return chunkID
+}

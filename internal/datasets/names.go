@@ -1,0 +1,150 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"multirag/internal/textutil"
+)
+
+// Word pools for deterministic synthetic naming. They are large enough that
+// the default dataset sizes produce essentially collision-free names; the
+// generator additionally suffixes an index on collision.
+var (
+	firstNames = []string{
+		"Ada", "Blake", "Carmen", "Dmitri", "Elena", "Farid", "Greta", "Hiro",
+		"Imani", "Jonas", "Keiko", "Luca", "Mei", "Nadia", "Omar", "Priya",
+		"Quentin", "Rosa", "Sven", "Tara", "Umar", "Vera", "Wen", "Xenia",
+		"Yusuf", "Zola",
+	}
+	lastNames = []string{
+		"Abara", "Bennett", "Castillo", "Dubois", "Eriksen", "Fontaine",
+		"Garcia", "Haddad", "Ivanov", "Jansen", "Kowalski", "Lindgren",
+		"Moreau", "Nakamura", "Okafor", "Petrov", "Quispe", "Rossi",
+		"Schmidt", "Tanaka", "Ueda", "Vasquez", "Weber", "Xu", "Yamada",
+		"Zhang",
+	}
+	adjectives = []string{
+		"Silent", "Crimson", "Hidden", "Golden", "Broken", "Electric",
+		"Distant", "Frozen", "Burning", "Lost", "Final", "Endless",
+		"Savage", "Gentle", "Hollow", "Radiant", "Shattered", "Velvet",
+		"Wandering", "Midnight",
+	}
+	nouns = []string{
+		"Horizon", "Empire", "Garden", "Mirror", "Station", "Harbor",
+		"Forest", "Machine", "Signal", "Archive", "Voyage", "Covenant",
+		"Labyrinth", "Paradox", "Monument", "Frontier", "Cipher", "Orchard",
+		"Citadel", "Meridian",
+	}
+	cities = []string{
+		"Beijing", "New York", "London", "Tokyo", "Paris", "Singapore",
+		"Dubai", "Frankfurt", "Sydney", "Toronto", "Seoul", "Chicago",
+		"Amsterdam", "Madrid", "Istanbul", "Bangkok",
+	}
+	genres = []string{
+		"drama", "thriller", "comedy", "noir", "science fiction", "romance",
+		"documentary", "western", "horror", "mystery",
+	}
+	publishers = []string{
+		"Northwind Press", "Atlas House", "Meridian Books", "Quill & Crane",
+		"Lanternlight", "Harborview", "Foxglove Editions", "Summit Folio",
+	}
+	sectors = []string{
+		"energy", "technology", "healthcare", "finance", "materials",
+		"utilities", "consumer", "industrials",
+	}
+	exchanges = []string{"NYSE", "NASDAQ", "LSE", "HKEX", "TSE", "FWB"}
+	statuses  = []string{"On time", "Delayed", "Boarding", "Cancelled", "Departed", "Diverted"}
+	airlines  = []string{"CA", "MU", "CZ", "UA", "DL", "AF", "LH", "BA", "NH", "SQ"}
+)
+
+func pick(rng *rand.Rand, pool []string) string {
+	return pool[rng.Intn(len(pool))]
+}
+
+func personName(rng *rand.Rand) string {
+	return pick(rng, firstNames) + " " + pick(rng, lastNames)
+}
+
+func titleName(rng *rand.Rand) string {
+	return "The " + pick(rng, adjectives) + " " + pick(rng, nouns)
+}
+
+func flightName(rng *rand.Rand) string {
+	return fmt.Sprintf("%s%d", pick(rng, airlines), 100+rng.Intn(900))
+}
+
+func tickerName(rng *rand.Rand) string {
+	letters := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	n := 3 + rng.Intn(2)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(letters[rng.Intn(len(letters))])
+	}
+	return sb.String()
+}
+
+// genValue produces a fresh value of the given kind.
+func genValue(rng *rand.Rand, kind string) string {
+	switch kind {
+	case "person":
+		return personName(rng)
+	case "year":
+		return fmt.Sprintf("%d", 1960+rng.Intn(65))
+	case "word":
+		return pick(rng, genres)
+	case "publisher":
+		return pick(rng, publishers)
+	case "city":
+		return pick(rng, cities)
+	case "time":
+		return fmt.Sprintf("%02d:%02d", rng.Intn(24), rng.Intn(12)*5)
+	case "number":
+		return fmt.Sprintf("%d.%02d", 5+rng.Intn(500), rng.Intn(100))
+	case "bignumber":
+		return fmt.Sprintf("%d", (1+rng.Intn(9000))*1000)
+	case "status":
+		return pick(rng, statuses)
+	case "sector":
+		return pick(rng, sectors)
+	case "exchange":
+		return pick(rng, exchanges)
+	case "gate":
+		return fmt.Sprintf("%c%d", 'A'+rune(rng.Intn(6)), 1+rng.Intn(40))
+	case "pages":
+		return fmt.Sprintf("%d", 120+rng.Intn(900))
+	default:
+		return fmt.Sprintf("value-%d", rng.Intn(1_000_000))
+	}
+}
+
+// normName canonicalises an entity surface form with the same
+// standardisation the knowledge-construction module applies, so gold keys
+// unify cross-source surface variants.
+func normName(s string) string {
+	return textutil.StandardizeName(s)
+}
+
+// variantSurface renders a source-specific surface form of an entity name —
+// the deep-web reality that different sources format the same entity
+// differently ("The Silent Horizon" / "Silent Horizon, The" / "Flight CA981").
+func variantSurface(rng *rand.Rand, name, domain string) string {
+	switch domain {
+	case "flights":
+		return "Flight " + name
+	case "stocks":
+		if rng.Intn(2) == 0 {
+			return name + " Inc"
+		}
+		return "Stock " + name
+	default:
+		if strings.HasPrefix(name, "The ") {
+			if rng.Intn(2) == 0 {
+				return strings.TrimPrefix(name, "The ") + ", The"
+			}
+			return strings.TrimPrefix(name, "The ")
+		}
+		return "The " + name
+	}
+}

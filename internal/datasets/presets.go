@@ -1,0 +1,162 @@
+package datasets
+
+import "fmt"
+
+// The presets mirror Table I's source structure at a laptop-friendly scale:
+// the source counts and format splits match the paper exactly; entity counts
+// are scaled so a full benchmark sweep runs in minutes. Movies and Flights
+// are dense (high per-source coverage), Books and Stocks sparse — the
+// property §IV-B attributes the differing headroom to.
+
+// sourceRun builds n sources with a shared format and staggered
+// reliability/coverage drawn deterministically from the index.
+func sourceRun(prefix, format string, n int, relBase, relSpread, covBase, covSpread float64) []SourceSpec {
+	out := make([]SourceSpec, 0, n)
+	for i := 0; i < n; i++ {
+		frac := 0.0
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		out = append(out, SourceSpec{
+			Name:        fmt.Sprintf("%s-%s-%02d", prefix, format, i),
+			Format:      format,
+			Reliability: relBase + relSpread*frac,
+			Coverage:    covBase + covSpread*frac,
+		})
+	}
+	return out
+}
+
+// Movies returns the Movies preset: 13 sources (4 JSON, 5 KG, 4 CSV), dense.
+func Movies(seed uint64) Spec {
+	var sources []SourceSpec
+	sources = append(sources, sourceRun("mov", "json", 4, 0.45, 0.35, 0.65, 0.2)...)
+	sources = append(sources, sourceRun("mov", "kg", 5, 0.42, 0.38, 0.7, 0.2)...)
+	sources = append(sources, sourceRun("mov", "csv", 4, 0.48, 0.32, 0.7, 0.15)...)
+	// Copying sources replicate low-reliability parents (redundancy
+	// pathology of deep-web corpora [36]): their duplicated errors corrupt
+	// vote counting and violate the source-independence assumption of the
+	// classic fusion baselines.
+	sources[1].CopyOf = sources[0].Name
+	sources[2].CopyOf = sources[0].Name
+	sources[5].CopyOf = sources[4].Name
+	sources[10].CopyOf = sources[9].Name
+	return Spec{
+		Name:         "movies",
+		Domain:       "movies",
+		Entities:     220,
+		ConflictPool: 1,
+		VariantRate:  0.25,
+		Attributes: []AttrSpec{
+			{Name: "director", Kind: "person", MultiProb: 0.35},
+			{Name: "writer", Kind: "person", MultiProb: 0.2},
+			{Name: "year", Kind: "year"},
+			{Name: "genre", Kind: "word"},
+		},
+		Sources: sources,
+		Queries: 100,
+		Seed:    seed,
+	}
+}
+
+// Books returns the Books preset: 10 sources (3 JSON, 3 CSV, 4 XML), sparse.
+func Books(seed uint64) Spec {
+	var sources []SourceSpec
+	sources = append(sources, sourceRun("bok", "json", 3, 0.42, 0.33, 0.24, 0.14)...)
+	sources = append(sources, sourceRun("bok", "csv", 3, 0.44, 0.31, 0.26, 0.12)...)
+	sources = append(sources, sourceRun("bok", "xml", 4, 0.4, 0.35, 0.22, 0.16)...)
+	sources[1].CopyOf = sources[0].Name
+	sources[4].CopyOf = sources[3].Name
+	sources[7].CopyOf = sources[6].Name
+	return Spec{
+		Name:         "books",
+		Domain:       "books",
+		Entities:     180,
+		ConflictPool: 2,
+		VariantRate:  0.4,
+		Attributes: []AttrSpec{
+			{Name: "author", Kind: "person", MultiProb: 0.3},
+			{Name: "publisher", Kind: "publisher"},
+			{Name: "year", Kind: "year"},
+			{Name: "pages", Kind: "pages"},
+		},
+		Sources: sources,
+		Queries: 100,
+		Seed:    seed,
+	}
+}
+
+// Flights returns the Flights preset: 20 sources (10 CSV, 10 JSON), dense.
+func Flights(seed uint64) Spec {
+	var sources []SourceSpec
+	sources = append(sources, sourceRun("flt", "csv", 10, 0.42, 0.38, 0.7, 0.2)...)
+	sources = append(sources, sourceRun("flt", "json", 10, 0.44, 0.36, 0.72, 0.18)...)
+	sources[1].CopyOf = sources[0].Name
+	sources[2].CopyOf = sources[0].Name
+	sources[11].CopyOf = sources[10].Name
+	sources[12].CopyOf = sources[10].Name
+	sources[13].CopyOf = sources[10].Name
+	return Spec{
+		Name:         "flights",
+		Domain:       "flights",
+		Entities:     160,
+		ConflictPool: 1,
+		VariantRate:  0.3,
+		Attributes: []AttrSpec{
+			{Name: "origin", Kind: "city"},
+			{Name: "destination", Kind: "city"},
+			{Name: "status", Kind: "status"},
+			{Name: "departure_time", Kind: "time"},
+			{Name: "gate", Kind: "gate"},
+		},
+		Sources: sources,
+		Queries: 100,
+		Seed:    seed,
+	}
+}
+
+// Stocks returns the Stocks preset: 20 sources (10 CSV, 10 JSON), sparse.
+func Stocks(seed uint64) Spec {
+	var sources []SourceSpec
+	sources = append(sources, sourceRun("stk", "csv", 10, 0.42, 0.33, 0.3, 0.16)...)
+	sources = append(sources, sourceRun("stk", "json", 10, 0.44, 0.31, 0.28, 0.18)...)
+	sources[1].CopyOf = sources[0].Name
+	sources[2].CopyOf = sources[0].Name
+	sources[11].CopyOf = sources[10].Name
+	return Spec{
+		Name:         "stocks",
+		Domain:       "stocks",
+		Entities:     180,
+		ConflictPool: 2,
+		VariantRate:  0.4,
+		Attributes: []AttrSpec{
+			{Name: "price", Kind: "number"},
+			{Name: "volume", Kind: "bignumber"},
+			{Name: "exchange", Kind: "exchange"},
+			{Name: "sector", Kind: "sector"},
+		},
+		Sources: sources,
+		Queries: 100,
+		Seed:    seed,
+	}
+}
+
+// ByName returns a preset spec by dataset name.
+func ByName(name string, seed uint64) (Spec, error) {
+	switch name {
+	case "movies":
+		return Movies(seed), nil
+	case "books":
+		return Books(seed), nil
+	case "flights":
+		return Flights(seed), nil
+	case "stocks":
+		return Stocks(seed), nil
+	}
+	return Spec{}, fmt.Errorf("datasets: unknown preset %q", name)
+}
+
+// AllPresets returns the four fusion dataset specs in Table I order.
+func AllPresets(seed uint64) []Spec {
+	return []Spec{Movies(seed), Books(seed), Flights(seed), Stocks(seed)}
+}

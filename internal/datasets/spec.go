@@ -1,0 +1,146 @@
+// Package datasets generates the synthetic benchmark corpora that stand in
+// for the paper's evaluation data: the four multi-source fusion datasets
+// (Movies, Books, Flights, Stocks — Table I) and the two multi-hop QA
+// datasets (HotpotQA-like and 2WikiMultiHopQA-like). See DESIGN.md §1 for
+// why these substitutions preserve the experimental behaviour.
+//
+// The generators are fully deterministic given a seed. Each fusion dataset
+// has known gold truth, per-source reliability/coverage/copying structure and
+// a format split across CSV, nested JSON, XML, native-KG and free-text files,
+// so both fusion F1 and adapter behaviour are exercised end to end.
+package datasets
+
+import (
+	"fmt"
+
+	"multirag/internal/adapter"
+)
+
+// AttrSpec describes one attribute of the dataset's entities.
+type AttrSpec struct {
+	// Name is the attribute / relation name ("director").
+	Name string
+	// Kind selects the value generator: "person", "year", "word", "city",
+	// "time", "number", "status".
+	Kind string
+	// MultiProb is the probability an entity has two true values for this
+	// attribute (movies with two directors, books with two authors).
+	MultiProb float64
+}
+
+// SourceSpec describes one data source.
+type SourceSpec struct {
+	// Name is the source identifier ("src-csv-03").
+	Name string
+	// Format is the storage format: "csv", "json", "xml", "kg" or "text".
+	Format string
+	// Reliability is the probability a covered fact is reported correctly.
+	Reliability float64
+	// Coverage is the probability the source covers a given fact; low
+	// coverage across sources is what makes a dataset sparse.
+	Coverage float64
+	// CopyOf, when set, makes this source replicate another source's claims
+	// (including its errors) — the redundancy pathology of §I.
+	CopyOf string
+}
+
+// Spec parameterises a fusion dataset.
+type Spec struct {
+	Name       string
+	Domain     string
+	Entities   int
+	Attributes []AttrSpec
+	Sources    []SourceSpec
+	Queries    int
+	Seed       uint64
+	// ConflictPool is how many distinct wrong values can circulate per fact;
+	// a small pool concentrates conflict on the same wrong value (harder).
+	ConflictPool int
+	// VariantRate is the probability that a source renders an entity under a
+	// variant surface form; variants are resolvable only by the entity
+	// standardisation phase of knowledge construction (§III-B), which is how
+	// sparse data punishes methods that cannot connect knowledge elements.
+	VariantRate float64
+}
+
+// Claim is one source's assertion about a fact, kept for inspection and for
+// the pure data-fusion baselines that consume claims directly.
+type Claim struct {
+	Entity    string
+	Attribute string
+	Value     string
+	Source    string
+	Correct   bool
+}
+
+// Query is a benchmark query with its gold answer set.
+type Query struct {
+	ID        string
+	Text      string
+	Entity    string // surface form
+	Attribute string
+	Gold      []string
+}
+
+// Dataset is a generated fusion benchmark.
+type Dataset struct {
+	Spec    Spec
+	Files   []adapter.RawFile
+	Claims  []Claim
+	Gold    map[string][]string // key: GoldKey(entity, attribute)
+	Queries []Query
+}
+
+// GoldKey builds the lookup key for a gold fact. Entity matching is
+// case-insensitive to mirror kg.CanonicalID.
+func GoldKey(entity, attribute string) string {
+	return normName(entity) + "\x00" + attribute
+}
+
+// FilterFormats returns the dataset's files restricted to the given format
+// letters, using the paper's Table II abbreviations: J=json, K=kg, C=csv,
+// X=xml, T=text. An unknown letter panics — it is a programming error in a
+// benchmark table definition.
+func (d *Dataset) FilterFormats(letters string) []adapter.RawFile {
+	want := map[string]bool{}
+	for _, r := range letters {
+		switch r {
+		case 'J', 'j':
+			want["json"] = true
+		case 'K', 'k':
+			want["kg"] = true
+		case 'C', 'c':
+			want["csv"] = true
+		case 'X', 'x':
+			want["xml"] = true
+		case 'T', 't':
+			want["text"] = true
+		case '/', ' ':
+		default:
+			panic(fmt.Sprintf("datasets: unknown format letter %q", string(r)))
+		}
+	}
+	var out []adapter.RawFile
+	for _, f := range d.Files {
+		if want[f.Format] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SourcesByFormat counts sources per format (Table I's "Sources" column).
+func (d *Dataset) SourcesByFormat() map[string]int {
+	set := map[string]map[string]bool{}
+	for _, f := range d.Files {
+		if set[f.Format] == nil {
+			set[f.Format] = map[string]bool{}
+		}
+		set[f.Format][f.Source] = true
+	}
+	out := map[string]int{}
+	for format, srcs := range set {
+		out[format] = len(srcs)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package datasets
+
+import (
+	"fmt"
+	"strings"
+)
+
+// QueriesFor builds a query workload restricted to a Table II source-format
+// combination: it keeps only facts that remain answerable (≥1 correct claim)
+// when the corpus is filtered to the given format letters, preserving the
+// original query order and topping up with additional answerable facts if
+// filtering starved the workload below n.
+func (d *Dataset) QueriesFor(letters string, n int) []Query {
+	if n <= 0 {
+		n = d.Spec.Queries
+	}
+	formatOf := map[string]string{}
+	for _, s := range d.Spec.Sources {
+		formatOf[s.Name] = s.Format
+	}
+	want := map[string]bool{}
+	for _, r := range letters {
+		switch r {
+		case 'J', 'j':
+			want["json"] = true
+		case 'K', 'k':
+			want["kg"] = true
+		case 'C', 'c':
+			want["csv"] = true
+		case 'X', 'x':
+			want["xml"] = true
+		case 'T', 't':
+			want["text"] = true
+		}
+	}
+	answerable := map[string]bool{}
+	for _, c := range d.Claims {
+		if c.Correct && want[formatOf[c.Source]] {
+			answerable[GoldKey(c.Entity, c.Attribute)] = true
+		}
+	}
+	var out []Query
+	used := map[string]bool{}
+	for _, q := range d.Queries {
+		key := GoldKey(q.Entity, q.Attribute)
+		if answerable[key] && !used[key] {
+			used[key] = true
+			out = append(out, q)
+			if len(out) == n {
+				return out
+			}
+		}
+	}
+	// Top up from the remaining answerable facts, deterministically.
+	for _, c := range d.Claims {
+		if len(out) == n {
+			break
+		}
+		key := GoldKey(c.Entity, c.Attribute)
+		if !c.Correct || used[key] || !answerable[key] {
+			continue
+		}
+		used[key] = true
+		out = append(out, Query{
+			ID:        fmt.Sprintf("%s-x%03d", d.Spec.Name, len(out)),
+			Text:      fmt.Sprintf("What is the %s of %s?", strings.ReplaceAll(c.Attribute, "_", " "), c.Entity),
+			Entity:    c.Entity,
+			Attribute: c.Attribute,
+			Gold:      d.Gold[key],
+		})
+	}
+	return out
+}

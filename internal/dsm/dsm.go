@@ -1,0 +1,188 @@
+// Package dsm implements a Decomposition Storage Model (DSM): a columnar
+// store in which each attribute of a table is kept as an independent column
+// with its own hash and ordered indexes. The structured-data adapter
+// (internal/adapter) stores tabular sources through dsm so that "all
+// attribute information for consistency checks" can be extracted via column
+// indexes, as §III-B of the paper requires.
+package dsm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is a DSM table: a fixed set of named columns, each holding one value
+// per row. A missing cell is represented by the empty string and excluded
+// from indexes.
+type Table struct {
+	name    string
+	rows    int
+	columns map[string]*Column
+	order   []string // column names in insertion order
+}
+
+// Column is a single decomposed attribute: its values in row order plus a
+// hash index (value → row ids) and a sorted index for range scans.
+type Column struct {
+	Name   string
+	values []string
+	hash   map[string][]int
+	sorted []int // row ids ordered by value; built lazily
+	dirty  bool
+}
+
+// NewTable creates an empty DSM table with the given column names. Duplicate
+// column names are an error.
+func NewTable(name string, columns ...string) (*Table, error) {
+	t := &Table{name: name, columns: map[string]*Column{}}
+	for _, c := range columns {
+		if _, dup := t.columns[c]; dup {
+			return nil, fmt.Errorf("dsm: duplicate column %q in table %q", c, name)
+		}
+		t.columns[c] = &Column{Name: c, hash: map[string][]int{}}
+		t.order = append(t.order, c)
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Rows returns the number of rows inserted.
+func (t *Table) Rows() int { return t.rows }
+
+// Columns returns the column names in declaration order.
+func (t *Table) Columns() []string {
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// Insert appends one row given as column → value. Unknown columns are an
+// error; columns absent from the map get the empty (missing) cell. Insert
+// returns the new row id.
+func (t *Table) Insert(row map[string]string) (int, error) {
+	for k := range row {
+		if _, ok := t.columns[k]; !ok {
+			return 0, fmt.Errorf("dsm: table %q has no column %q", t.name, k)
+		}
+	}
+	id := t.rows
+	for _, name := range t.order {
+		col := t.columns[name]
+		v := row[name]
+		col.values = append(col.values, v)
+		if v != "" {
+			col.hash[v] = append(col.hash[v], id)
+		}
+		col.dirty = true
+	}
+	t.rows++
+	return id, nil
+}
+
+// Get returns the cell at (row, column). Missing cells return "".
+func (t *Table) Get(row int, column string) (string, error) {
+	col, ok := t.columns[column]
+	if !ok {
+		return "", fmt.Errorf("dsm: table %q has no column %q", t.name, column)
+	}
+	if row < 0 || row >= t.rows {
+		return "", fmt.Errorf("dsm: row %d out of range [0,%d)", row, t.rows)
+	}
+	return col.values[row], nil
+}
+
+// Lookup returns the row ids whose column equals value, via the hash index.
+func (t *Table) Lookup(column, value string) ([]int, error) {
+	col, ok := t.columns[column]
+	if !ok {
+		return nil, fmt.Errorf("dsm: table %q has no column %q", t.name, column)
+	}
+	ids := col.hash[value]
+	out := make([]int, len(ids))
+	copy(out, ids)
+	return out, nil
+}
+
+// Scan returns all non-missing (rowID, value) pairs of a column in row order.
+// It is the "extract all attribute information for consistency checks" path.
+func (t *Table) Scan(column string) ([]Cell, error) {
+	col, ok := t.columns[column]
+	if !ok {
+		return nil, fmt.Errorf("dsm: table %q has no column %q", t.name, column)
+	}
+	var cells []Cell
+	for id, v := range col.values {
+		if v != "" {
+			cells = append(cells, Cell{Row: id, Value: v})
+		}
+	}
+	return cells, nil
+}
+
+// Cell is a (row, value) pair returned by column scans.
+type Cell struct {
+	Row   int
+	Value string
+}
+
+// Range returns the row ids whose column value lies in [lo, hi]
+// lexicographically, using the ordered index.
+func (t *Table) Range(column, lo, hi string) ([]int, error) {
+	col, ok := t.columns[column]
+	if !ok {
+		return nil, fmt.Errorf("dsm: table %q has no column %q", t.name, column)
+	}
+	col.ensureSorted()
+	// Binary search over the sorted index.
+	n := len(col.sorted)
+	start := sort.Search(n, func(i int) bool { return col.values[col.sorted[i]] >= lo })
+	end := sort.Search(n, func(i int) bool { return col.values[col.sorted[i]] > hi })
+	out := make([]int, 0, end-start)
+	out = append(out, col.sorted[start:end]...)
+	return out, nil
+}
+
+// Distinct returns the sorted distinct non-missing values of a column.
+func (t *Table) Distinct(column string) ([]string, error) {
+	col, ok := t.columns[column]
+	if !ok {
+		return nil, fmt.Errorf("dsm: table %q has no column %q", t.name, column)
+	}
+	vals := make([]string, 0, len(col.hash))
+	for v := range col.hash {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	return vals, nil
+}
+
+// Row materialises a full row as column → value (missing cells omitted).
+func (t *Table) Row(id int) (map[string]string, error) {
+	if id < 0 || id >= t.rows {
+		return nil, fmt.Errorf("dsm: row %d out of range [0,%d)", id, t.rows)
+	}
+	row := map[string]string{}
+	for _, name := range t.order {
+		if v := t.columns[name].values[id]; v != "" {
+			row[name] = v
+		}
+	}
+	return row, nil
+}
+
+func (c *Column) ensureSorted() {
+	if !c.dirty && c.sorted != nil {
+		return
+	}
+	ids := make([]int, 0, len(c.values))
+	for id, v := range c.values {
+		if v != "" {
+			ids = append(ids, id)
+		}
+	}
+	sort.SliceStable(ids, func(i, j int) bool { return c.values[ids[i]] < c.values[ids[j]] })
+	c.sorted = ids
+	c.dirty = false
+}

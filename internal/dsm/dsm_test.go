@@ -1,0 +1,172 @@
+package dsm
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable("movies", "title", "director", "year")
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	rows := []map[string]string{
+		{"title": "The Matrix", "director": "Wachowski", "year": "1999"},
+		{"title": "Heat", "director": "Mann", "year": "1995"},
+		{"title": "Inception", "director": "Nolan", "year": "2010"},
+		{"title": "Dunkirk", "director": "Nolan"}, // missing year
+	}
+	for _, r := range rows {
+		if _, err := tbl.Insert(r); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	return tbl
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	if _, err := NewTable("t", "a", "a"); err == nil {
+		t.Fatal("duplicate column must be rejected")
+	}
+}
+
+func TestInsertUnknownColumn(t *testing.T) {
+	tbl, _ := NewTable("t", "a")
+	if _, err := tbl.Insert(map[string]string{"b": "1"}); err == nil {
+		t.Fatal("unknown column must be rejected")
+	}
+}
+
+func TestGetAndLookup(t *testing.T) {
+	tbl := mustTable(t)
+	v, err := tbl.Get(2, "title")
+	if err != nil || v != "Inception" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	ids, err := tbl.Lookup("director", "Nolan")
+	if err != nil || !reflect.DeepEqual(ids, []int{2, 3}) {
+		t.Fatalf("Lookup = %v, %v", ids, err)
+	}
+	if _, err := tbl.Get(99, "title"); err == nil {
+		t.Fatal("out-of-range row must error")
+	}
+	if _, err := tbl.Lookup("nope", "x"); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestScanSkipsMissing(t *testing.T) {
+	tbl := mustTable(t)
+	cells, err := tbl.Scan("year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("Scan returned %d cells, want 3 (missing cell skipped)", len(cells))
+	}
+}
+
+func TestRange(t *testing.T) {
+	tbl := mustTable(t)
+	ids, err := tbl.Range("year", "1995", "2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(ids)
+	if !reflect.DeepEqual(ids, []int{0, 1}) {
+		t.Fatalf("Range = %v", ids)
+	}
+}
+
+func TestDistinctSorted(t *testing.T) {
+	tbl := mustTable(t)
+	vals, err := tbl.Distinct("director")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vals, []string{"Mann", "Nolan", "Wachowski"}) {
+		t.Fatalf("Distinct = %v", vals)
+	}
+}
+
+func TestRowMaterialisation(t *testing.T) {
+	tbl := mustTable(t)
+	row, err := tbl.Row(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := row["year"]; ok {
+		t.Fatal("missing cell must be omitted from Row")
+	}
+	if row["title"] != "Dunkirk" {
+		t.Fatalf("Row = %v", row)
+	}
+}
+
+// Property: for random inserts, hash lookup agrees with a full scan.
+func TestLookupMatchesScanProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		tbl, _ := NewTable("p", "v")
+		for _, v := range vals {
+			if _, err := tbl.Insert(map[string]string{"v": fmt.Sprintf("x%d", v%8)}); err != nil {
+				return false
+			}
+		}
+		for probe := 0; probe < 8; probe++ {
+			key := fmt.Sprintf("x%d", probe)
+			ids, _ := tbl.Lookup("v", key)
+			var want []int
+			cells, _ := tbl.Scan("v")
+			for _, c := range cells {
+				if c.Value == key {
+					want = append(want, c.Row)
+				}
+			}
+			if !reflect.DeepEqual(ids, want) && !(len(ids) == 0 && len(want) == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Range(lo,hi) returns exactly the rows whose value ∈ [lo,hi].
+func TestRangeProperty(t *testing.T) {
+	f := func(vals []uint8, loRaw, hiRaw uint8) bool {
+		tbl, _ := NewTable("p", "v")
+		for _, v := range vals {
+			tbl.Insert(map[string]string{"v": fmt.Sprintf("%03d", v)})
+		}
+		lo := fmt.Sprintf("%03d", loRaw)
+		hi := fmt.Sprintf("%03d", hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got, err := tbl.Range("v", lo, hi)
+		if err != nil {
+			return false
+		}
+		gotSet := map[int]bool{}
+		for _, id := range got {
+			gotSet[id] = true
+		}
+		for id, v := range vals {
+			key := fmt.Sprintf("%03d", v)
+			in := key >= lo && key <= hi
+			if in != gotSet[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"time"
+)
+
+// Clock is the virtual-time accounting used throughout the benchmarks.
+// Reported "query time" is real compute time plus the priced cost of
+// simulated externals: LLM traffic (priced by llm.CostModel inside the
+// model) and historical-data validation scans (priced here). See DESIGN.md
+// §1, virtual-time model.
+type Clock struct {
+	start    time.Time
+	realTime time.Duration
+	virtual  time.Duration
+}
+
+// PerHistoryScan prices one historical-entity validation scan (Fig. 7's
+// dominant cost at α → 0).
+const PerHistoryScan = 5 * time.Millisecond
+
+// PerClaimFetch prices one source-record access during fusion. Batch
+// algorithms (TruthFinder) touch the whole corpus per query under the
+// on-demand protocol and dominate Table II's time column exactly as in the
+// paper; line-graph and candidate-set methods touch a handful of records.
+const PerClaimFetch = 2 * time.Millisecond
+
+// ChargeClaimFetches charges n source-record accesses.
+func (c *Clock) ChargeClaimFetches(n int) {
+	c.virtual += time.Duration(n) * PerClaimFetch
+}
+
+// Start begins (or restarts) real-time measurement.
+func (c *Clock) Start() { c.start = time.Now() }
+
+// Stop accumulates the elapsed real time since Start.
+func (c *Clock) Stop() {
+	if !c.start.IsZero() {
+		c.realTime += time.Since(c.start)
+		c.start = time.Time{}
+	}
+}
+
+// AddVirtual charges simulated latency.
+func (c *Clock) AddVirtual(d time.Duration) { c.virtual += d }
+
+// ChargeHistoryScans charges n historical validation scans.
+func (c *Clock) ChargeHistoryScans(n int) {
+	c.virtual += time.Duration(n) * PerHistoryScan
+}
+
+// Real returns the accumulated real compute time.
+func (c *Clock) Real() time.Duration { return c.realTime }
+
+// Virtual returns the accumulated simulated latency.
+func (c *Clock) Virtual() time.Duration { return c.virtual }
+
+// Total returns real + virtual time.
+func (c *Clock) Total() time.Duration { return c.realTime + c.virtual }
+
+// Seconds returns the total in floating-point seconds — the unit of the
+// paper's time columns.
+func (c *Clock) Seconds() float64 { return c.Total().Seconds() }

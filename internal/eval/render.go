@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a plain-text table renderer for benchmark output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(t.Headers)
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one labelled line of a figure: y values over shared x labels.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// Figure is a plain-text rendering of a paper figure: several series over
+// shared x labels.
+type Figure struct {
+	Title   string
+	XLabel  string
+	XTicks  []string
+	Series  []Series
+	Percent bool // render y values as percentages
+}
+
+// Fprint renders the figure as a table of series values plus a coarse ASCII
+// sparkline per series.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", f.Title)
+	t := Table{Headers: append([]string{f.XLabel}, f.XTicks...)}
+	for _, s := range f.Series {
+		row := []string{s.Name}
+		for _, y := range s.Ys {
+			if f.Percent {
+				row = append(row, fmt.Sprintf("%.1f", y))
+			} else {
+				row = append(row, fmt.Sprintf("%.3g", y))
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(w)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "  %-24s %s\n", s.Name, sparkline(s.Ys))
+	}
+}
+
+// sparkline renders values as a coarse ASCII intensity strip.
+func sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	min, max := ys[0], ys[0]
+	for _, y := range ys {
+		if y < min {
+			min = y
+		}
+		if y > max {
+			max = y
+		}
+	}
+	levels := []byte("_.-=*#")
+	var sb strings.Builder
+	for _, y := range ys {
+		idx := 0
+		if max > min {
+			idx = int((y - min) / (max - min) * float64(len(levels)-1))
+		}
+		sb.WriteByte(levels[idx])
+	}
+	return sb.String()
+}

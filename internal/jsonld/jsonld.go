@@ -1,0 +1,179 @@
+// Package jsonld implements the linked-data document model used to normalise
+// multi-source data (Definition 1 and Fig. 2 of the paper). Every adapter in
+// internal/adapter emits its parsed content as a jsonld.Document so that
+// structured, semi-structured and unstructured sources share one storage
+// representation before knowledge extraction.
+package jsonld
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Document is a JSON-LD node object: an @id, an @type, an optional @context
+// mapping of term → IRI, and a set of properties. Property values are either
+// scalars (string), value lists ([]string) or nested Documents, mirroring the
+// subset of JSON-LD the paper's Fig. 2 uses.
+type Document struct {
+	Context map[string]string
+	ID      string
+	Type    string
+	Props   map[string]Value
+}
+
+// Value is one JSON-LD property value.
+type Value struct {
+	// Exactly one of the fields below is populated.
+	Str  string
+	List []string
+	Node *Document
+}
+
+// String returns a human-readable rendering of the value.
+func (v Value) String() string {
+	switch {
+	case v.Node != nil:
+		return "{" + v.Node.ID + "}"
+	case v.List != nil:
+		return fmt.Sprint(v.List)
+	default:
+		return v.Str
+	}
+}
+
+// IsZero reports whether the value carries no content.
+func (v Value) IsZero() bool {
+	return v.Str == "" && v.List == nil && v.Node == nil
+}
+
+// Strings flattens the value into a string slice: a scalar becomes a
+// singleton, a list is returned as-is, and a nested node contributes its @id.
+func (v Value) Strings() []string {
+	switch {
+	case v.Node != nil:
+		return []string{v.Node.ID}
+	case v.List != nil:
+		return v.List
+	case v.Str != "":
+		return []string{v.Str}
+	}
+	return nil
+}
+
+// New returns an empty document with the given @id and @type.
+func New(id, typ string) *Document {
+	return &Document{ID: id, Type: typ, Props: map[string]Value{}}
+}
+
+// Set assigns a scalar property.
+func (d *Document) Set(key, val string) {
+	d.Props[key] = Value{Str: val}
+}
+
+// SetList assigns a multi-valued property.
+func (d *Document) SetList(key string, vals []string) {
+	d.Props[key] = Value{List: vals}
+}
+
+// SetNode assigns a nested node property.
+func (d *Document) SetNode(key string, node *Document) {
+	d.Props[key] = Value{Node: node}
+}
+
+// Get returns the property value and whether it exists.
+func (d *Document) Get(key string) (Value, bool) {
+	v, ok := d.Props[key]
+	return v, ok
+}
+
+// Keys returns the property names in sorted order.
+func (d *Document) Keys() []string {
+	keys := make([]string, 0, len(d.Props))
+	for k := range d.Props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MarshalJSON renders the document with JSON-LD keywords (@context, @id,
+// @type) ahead of ordinary properties.
+func (d *Document) MarshalJSON() ([]byte, error) {
+	m := map[string]any{}
+	if len(d.Context) > 0 {
+		m["@context"] = d.Context
+	}
+	if d.ID != "" {
+		m["@id"] = d.ID
+	}
+	if d.Type != "" {
+		m["@type"] = d.Type
+	}
+	for k, v := range d.Props {
+		switch {
+		case v.Node != nil:
+			m[k] = v.Node
+		case v.List != nil:
+			m[k] = v.List
+		default:
+			m[k] = v.Str
+		}
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON parses a JSON-LD node object produced by MarshalJSON (or any
+// object using the same subset: scalar strings, string arrays, nested
+// objects). Non-string scalars are stringified.
+func (d *Document) UnmarshalJSON(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("jsonld: %w", err)
+	}
+	d.Props = map[string]Value{}
+	for k, rv := range raw {
+		switch k {
+		case "@context":
+			if err := json.Unmarshal(rv, &d.Context); err != nil {
+				return fmt.Errorf("jsonld: @context: %w", err)
+			}
+		case "@id":
+			if err := json.Unmarshal(rv, &d.ID); err != nil {
+				return fmt.Errorf("jsonld: @id: %w", err)
+			}
+		case "@type":
+			if err := json.Unmarshal(rv, &d.Type); err != nil {
+				return fmt.Errorf("jsonld: @type: %w", err)
+			}
+		default:
+			v, err := parseValue(rv)
+			if err != nil {
+				return fmt.Errorf("jsonld: property %q: %w", k, err)
+			}
+			d.Props[k] = v
+		}
+	}
+	return nil
+}
+
+func parseValue(raw json.RawMessage) (Value, error) {
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		return Value{Str: s}, nil
+	}
+	var list []string
+	if err := json.Unmarshal(raw, &list); err == nil {
+		return Value{List: list}, nil
+	}
+	var node Document
+	if err := json.Unmarshal(raw, &node); err == nil {
+		return Value{Node: &node}, nil
+	}
+	// Fall back to stringifying numbers / booleans / mixed arrays.
+	var any any
+	if err := json.Unmarshal(raw, &any); err != nil {
+		return Value{}, err
+	}
+	return Value{Str: fmt.Sprint(any)}, nil
+}

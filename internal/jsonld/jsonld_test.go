@@ -1,0 +1,154 @@
+package jsonld
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	d := New("movie:1", "Movie")
+	d.Context = map[string]string{"director": "http://schema.org/director"}
+	d.Set("title", "The Matrix")
+	d.SetList("director", []string{"Lana Wachowski", "Lilly Wachowski"})
+	inner := New("person:1", "Person")
+	inner.Set("name", "Keanu Reeves")
+	d.SetNode("star", inner)
+
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Document
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.ID != "movie:1" || back.Type != "Movie" {
+		t.Fatalf("identity lost: %+v", back)
+	}
+	if v, _ := back.Get("title"); v.Str != "The Matrix" {
+		t.Fatalf("title = %q", v.Str)
+	}
+	if v, _ := back.Get("director"); !reflect.DeepEqual(v.List, []string{"Lana Wachowski", "Lilly Wachowski"}) {
+		t.Fatalf("director = %v", v.List)
+	}
+	if v, _ := back.Get("star"); v.Node == nil || v.Node.ID != "person:1" {
+		t.Fatalf("nested node lost: %v", v)
+	}
+	if back.Context["director"] != "http://schema.org/director" {
+		t.Fatalf("context lost")
+	}
+}
+
+func TestUnmarshalForeignScalars(t *testing.T) {
+	var d Document
+	if err := json.Unmarshal([]byte(`{"@id":"x","year":1999,"ok":true}`), &d); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if v, _ := d.Get("year"); v.Str != "1999" {
+		t.Fatalf("year = %q", v.Str)
+	}
+	if v, _ := d.Get("ok"); v.Str != "true" {
+		t.Fatalf("ok = %q", v.Str)
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if got := (Value{Str: "a"}).Strings(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("scalar Strings = %v", got)
+	}
+	if got := (Value{List: []string{"a", "b"}}).Strings(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("list Strings = %v", got)
+	}
+	if got := (Value{Node: New("n", "")}).Strings(); !reflect.DeepEqual(got, []string{"n"}) {
+		t.Errorf("node Strings = %v", got)
+	}
+	if (Value{}).Strings() != nil {
+		t.Errorf("zero value Strings must be nil")
+	}
+	if !(Value{}).IsZero() || (Value{Str: "x"}).IsZero() {
+		t.Errorf("IsZero broken")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	d := New("x", "T")
+	d.Set("zeta", "1")
+	d.Set("alpha", "2")
+	d.Set("mid", "3")
+	if got := d.Keys(); !reflect.DeepEqual(got, []string{"alpha", "mid", "zeta"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestNormalizedIDDeterministicAndDistinct(t *testing.T) {
+	a := NormalizedID("movies", "imdb", "top")
+	b := NormalizedID("movies", "imdb", "top")
+	if a != b {
+		t.Fatal("NormalizedID must be deterministic")
+	}
+	if a == NormalizedID("movies", "tmdb", "top") {
+		t.Fatal("different sources must yield different IDs")
+	}
+}
+
+func TestBuildColsIndexAndValidate(t *testing.T) {
+	d1 := New("r1", "Row")
+	d1.Set("title", "A")
+	d2 := New("r2", "Row")
+	d2.Set("title", "B")
+	d2.Set("year", "2001")
+	docs := []*Document{d1, d2}
+	idx := BuildColsIndex(docs)
+	if !reflect.DeepEqual(idx["title"], []int{0, 1}) {
+		t.Fatalf("title index = %v", idx["title"])
+	}
+	if !reflect.DeepEqual(idx["year"], []int{1}) {
+		t.Fatalf("year index = %v", idx["year"])
+	}
+	n := &Normalized{ID: "i", Domain: "d", Name: "n", JSC: docs, ColsIndex: idx}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	n.ColsIndex["title"] = []int{5}
+	if err := n.Validate(); err == nil {
+		t.Fatal("out-of-range offset must be rejected")
+	}
+	bad := &Normalized{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty identity must be rejected")
+	}
+}
+
+func TestColsIndexProperty(t *testing.T) {
+	// Property: every (column, offset) pair in the index points at a document
+	// that defines that column, and every document property appears.
+	f := func(cols []uint8) bool {
+		docs := make([]*Document, 0, len(cols))
+		names := []string{"a", "b", "c"}
+		for i, c := range cols {
+			d := New("r", "Row")
+			d.Set(names[int(c)%len(names)], "v")
+			docs = append(docs, d)
+			_ = i
+		}
+		idx := BuildColsIndex(docs)
+		total := 0
+		for col, offs := range idx {
+			for _, off := range offs {
+				if off < 0 || off >= len(docs) {
+					return false
+				}
+				if _, ok := docs[off].Props[col]; !ok {
+					return false
+				}
+				total++
+			}
+		}
+		return total == len(docs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package jsonld
+
+import (
+	"fmt"
+
+	"multirag/internal/textutil"
+)
+
+// Normalized is the unified record D̂ = {id, d, name, jsc, meta, cols_index}
+// of Definition 1: the output of multi-source data fusion. One Normalized
+// value describes one ingested data file after its adapter has parsed it.
+type Normalized struct {
+	// ID is the unique normalisation identifier, derived deterministically
+	// from (domain, source, name).
+	ID string
+	// Domain is d — the domain the data file belongs to (e.g. "movies").
+	Domain string
+	// Source names the originating data source (e.g. "imdb", "src-03").
+	Source string
+	// Name is the file or attribute name.
+	Name string
+	// Format records the original storage format ("csv", "json", "xml",
+	// "kg", "text").
+	Format string
+	// Meta is the file metadata (free-form key/value).
+	Meta map[string]string
+	// JSC holds the file content as JSON-LD linked-data documents
+	// (one per record).
+	JSC []*Document
+	// ColsIndex is the column index of all attributes, present only when the
+	// source is structured (columnar) data; it maps attribute name → the
+	// ordered list of record offsets that populate the attribute. It enables
+	// the rapid consistency scans described in §III-B.
+	ColsIndex map[string][]int
+}
+
+// NormalizedID derives the stable identifier for a (domain, source, name)
+// triple.
+func NormalizedID(domain, source, name string) string {
+	return fmt.Sprintf("%s/%s/%s#%016x", domain, source, name,
+		textutil.Hash64(domain+"\x00"+source+"\x00"+name))
+}
+
+// BuildColsIndex computes the column index over the given documents: for each
+// property name, the offsets of the documents that define it, in order.
+func BuildColsIndex(docs []*Document) map[string][]int {
+	idx := map[string][]int{}
+	for i, d := range docs {
+		for k := range d.Props {
+			idx[k] = append(idx[k], i)
+		}
+	}
+	return idx
+}
+
+// Records returns the number of linked-data records in the normalised file.
+func (n *Normalized) Records() int { return len(n.JSC) }
+
+// Validate checks the structural invariants of a Normalized value: non-empty
+// identity fields and a column index (when present) that references only
+// valid record offsets.
+func (n *Normalized) Validate() error {
+	if n.ID == "" || n.Domain == "" || n.Name == "" {
+		return fmt.Errorf("jsonld: normalized record missing identity (id=%q domain=%q name=%q)",
+			n.ID, n.Domain, n.Name)
+	}
+	for col, offs := range n.ColsIndex {
+		for _, off := range offs {
+			if off < 0 || off >= len(n.JSC) {
+				return fmt.Errorf("jsonld: cols_index[%q] offset %d out of range (records=%d)",
+					col, off, len(n.JSC))
+			}
+			if _, ok := n.JSC[off].Props[col]; !ok {
+				return fmt.Errorf("jsonld: cols_index[%q] offset %d does not define the column", col, off)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+// Package kg implements the in-memory knowledge graph substrate: entities,
+// relations and provenance-carrying triples with adjacency indexes, traversal
+// and subgraph extraction. The multi-source line graph (internal/linegraph)
+// and the confidence machinery (internal/confidence) are built on top of it.
+package kg
+
+import (
+	"fmt"
+	"sort"
+
+	"multirag/internal/textutil"
+)
+
+// Entity is a node in the knowledge graph.
+type Entity struct {
+	ID     string // canonical identifier (standardised name)
+	Name   string // preferred surface form
+	Type   string // coarse type ("Movie", "Flight", "Entity", ...)
+	Domain string // domain of the originating data (d in Definition 1)
+}
+
+// Triple is a (subject, predicate, object) edge with provenance. Objects are
+// literal values; when an object is itself an entity, ObjectEntity carries
+// its canonical ID so traversal can continue through it.
+type Triple struct {
+	ID           string
+	Subject      string // canonical entity ID
+	Predicate    string
+	Object       string // literal surface form
+	ObjectEntity string // canonical entity ID if the object is an entity, else ""
+	Source       string // originating data source (provenance)
+	Domain       string
+	Format       string  // original storage format ("csv","json","xml","kg","text")
+	ChunkID      string  // retrieval chunk the triple was extracted from
+	Weight       float64 // extraction confidence in [0,1]
+}
+
+// Key returns the homologous-data key of the triple: the (subject, predicate)
+// pair. Two triples with equal keys answer the same question about the same
+// entity and are candidates for the same homologous subgraph.
+func (t *Triple) Key() string { return t.Subject + "\x00" + t.Predicate }
+
+// CanonicalID derives the stable entity ID for a surface form.
+func CanonicalID(name string) string { return textutil.NormalizeValue(name) }
+
+// Graph is the mutable in-memory knowledge graph. It is not safe for
+// concurrent mutation; benchmark code builds graphs single-threaded and then
+// queries them read-only.
+type Graph struct {
+	entities map[string]*Entity
+	triples  map[string]*Triple
+
+	bySubject     map[string][]string // entity ID → triple IDs
+	byObject      map[string][]string // object entity ID → triple IDs
+	byKey         map[string][]string // Triple.Key() → triple IDs
+	byPredicate   map[string][]string
+	tripleCounter int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		entities:    map[string]*Entity{},
+		triples:     map[string]*Triple{},
+		bySubject:   map[string][]string{},
+		byObject:    map[string][]string{},
+		byKey:       map[string][]string{},
+		byPredicate: map[string][]string{},
+	}
+}
+
+// AddEntity inserts (or upgrades) an entity and returns its canonical ID.
+// Re-adding an entity keeps the first non-empty Type/Domain seen.
+func (g *Graph) AddEntity(name, typ, domain string) string {
+	id := CanonicalID(name)
+	if id == "" {
+		return ""
+	}
+	if e, ok := g.entities[id]; ok {
+		if e.Type == "" {
+			e.Type = typ
+		}
+		if e.Domain == "" {
+			e.Domain = domain
+		}
+		return id
+	}
+	g.entities[id] = &Entity{ID: id, Name: name, Type: typ, Domain: domain}
+	return id
+}
+
+// AddTriple inserts a triple. The subject entity must already exist; the
+// object is linked as an entity when its canonical form is a known entity.
+// It returns the assigned triple ID.
+func (g *Graph) AddTriple(t Triple) (string, error) {
+	if _, ok := g.entities[t.Subject]; !ok {
+		return "", fmt.Errorf("kg: unknown subject entity %q", t.Subject)
+	}
+	if t.Predicate == "" {
+		return "", fmt.Errorf("kg: triple with empty predicate (subject %q)", t.Subject)
+	}
+	if t.Weight == 0 {
+		t.Weight = 1
+	}
+	g.tripleCounter++
+	t.ID = fmt.Sprintf("t%06d", g.tripleCounter)
+	if t.ObjectEntity == "" {
+		if oid := CanonicalID(t.Object); oid != "" {
+			if _, ok := g.entities[oid]; ok {
+				t.ObjectEntity = oid
+			}
+		}
+	}
+	tc := t
+	g.triples[tc.ID] = &tc
+	g.bySubject[tc.Subject] = append(g.bySubject[tc.Subject], tc.ID)
+	g.byKey[tc.Key()] = append(g.byKey[tc.Key()], tc.ID)
+	g.byPredicate[tc.Predicate] = append(g.byPredicate[tc.Predicate], tc.ID)
+	if tc.ObjectEntity != "" {
+		g.byObject[tc.ObjectEntity] = append(g.byObject[tc.ObjectEntity], tc.ID)
+	}
+	return tc.ID, nil
+}
+
+// RemoveTriple deletes a triple by ID; it is used by the perturbation
+// machinery (relation masking). Removing an unknown ID is a no-op returning
+// false.
+func (g *Graph) RemoveTriple(id string) bool {
+	t, ok := g.triples[id]
+	if !ok {
+		return false
+	}
+	delete(g.triples, id)
+	g.bySubject[t.Subject] = removeID(g.bySubject[t.Subject], id)
+	g.byKey[t.Key()] = removeID(g.byKey[t.Key()], id)
+	g.byPredicate[t.Predicate] = removeID(g.byPredicate[t.Predicate], id)
+	if t.ObjectEntity != "" {
+		g.byObject[t.ObjectEntity] = removeID(g.byObject[t.ObjectEntity], id)
+	}
+	return true
+}
+
+func removeID(ids []string, id string) []string {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// Entity returns the entity with the given canonical ID.
+func (g *Graph) Entity(id string) (*Entity, bool) {
+	e, ok := g.entities[id]
+	return e, ok
+}
+
+// Triple returns the triple with the given ID.
+func (g *Graph) Triple(id string) (*Triple, bool) {
+	t, ok := g.triples[id]
+	return t, ok
+}
+
+// NumEntities returns the entity count.
+func (g *Graph) NumEntities() int { return len(g.entities) }
+
+// NumTriples returns the triple (relation instance) count.
+func (g *Graph) NumTriples() int { return len(g.triples) }
+
+// EntityIDs returns all canonical entity IDs, sorted.
+func (g *Graph) EntityIDs() []string {
+	ids := make([]string, 0, len(g.entities))
+	for id := range g.entities {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TripleIDs returns all triple IDs, sorted.
+func (g *Graph) TripleIDs() []string {
+	ids := make([]string, 0, len(g.triples))
+	for id := range g.triples {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TriplesBySubject returns the triples whose subject is the given entity, in
+// insertion order.
+func (g *Graph) TriplesBySubject(entityID string) []*Triple {
+	return g.resolve(g.bySubject[entityID])
+}
+
+// TriplesByKey returns the triples sharing a (subject, predicate) key — the
+// raw material of a homologous subgraph.
+func (g *Graph) TriplesByKey(subjectID, predicate string) []*Triple {
+	return g.resolve(g.byKey[subjectID+"\x00"+predicate])
+}
+
+// TriplesByPredicate returns all triples carrying the given predicate.
+func (g *Graph) TriplesByPredicate(pred string) []*Triple {
+	return g.resolve(g.byPredicate[pred])
+}
+
+// TriplesByObjectEntity returns the triples whose object resolves to the
+// given entity.
+func (g *Graph) TriplesByObjectEntity(entityID string) []*Triple {
+	return g.resolve(g.byObject[entityID])
+}
+
+func (g *Graph) resolve(ids []string) []*Triple {
+	out := make([]*Triple, 0, len(ids))
+	for _, id := range ids {
+		if t, ok := g.triples[id]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Degree returns the number of triples incident on an entity (as subject or
+// object).
+func (g *Graph) Degree(entityID string) int {
+	return len(g.bySubject[entityID]) + len(g.byObject[entityID])
+}
+
+// MaxDegree returns the maximum entity degree in the graph (0 when empty).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for id := range g.entities {
+		if d := g.Degree(id); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbors returns the canonical IDs of entities one hop from entityID
+// (through triples in either direction), sorted and deduplicated.
+func (g *Graph) Neighbors(entityID string) []string {
+	seen := map[string]bool{}
+	for _, t := range g.TriplesBySubject(entityID) {
+		if t.ObjectEntity != "" && t.ObjectEntity != entityID {
+			seen[t.ObjectEntity] = true
+		}
+	}
+	for _, t := range g.TriplesByObjectEntity(entityID) {
+		if t.Subject != entityID {
+			seen[t.Subject] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

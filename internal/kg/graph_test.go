@@ -1,0 +1,247 @@
+package kg
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func buildMovieGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	g.AddEntity("Heat", "Movie", "movies")
+	g.AddEntity("Michael Mann", "Person", "movies")
+	g.AddEntity("Inception", "Movie", "movies")
+	g.AddEntity("Christopher Nolan", "Person", "movies")
+	add := func(subj, pred, obj, src string) {
+		t.Helper()
+		if _, err := g.AddTriple(Triple{
+			Subject: CanonicalID(subj), Predicate: pred, Object: obj,
+			Source: src, Domain: "movies", Weight: 0.9,
+		}); err != nil {
+			t.Fatalf("AddTriple(%s,%s,%s): %v", subj, pred, obj, err)
+		}
+	}
+	add("Heat", "director", "Michael Mann", "imdb")
+	add("Heat", "director", "Michael Mann", "tmdb")
+	add("Heat", "year", "1995", "imdb")
+	add("Inception", "director", "Christopher Nolan", "imdb")
+	add("Inception", "year", "2010", "wiki")
+	return g
+}
+
+func TestAddEntityIdempotent(t *testing.T) {
+	g := New()
+	a := g.AddEntity("The Matrix", "Movie", "movies")
+	b := g.AddEntity("the matrix", "", "")
+	if a != b {
+		t.Fatalf("case-variant entities must share a canonical ID: %q vs %q", a, b)
+	}
+	e, _ := g.Entity(a)
+	if e.Type != "Movie" {
+		t.Fatalf("first type must win, got %q", e.Type)
+	}
+	if g.NumEntities() != 1 {
+		t.Fatalf("entities = %d", g.NumEntities())
+	}
+	if g.AddEntity("", "", "") != "" {
+		t.Fatal("empty name must not create an entity")
+	}
+}
+
+func TestAddTripleValidation(t *testing.T) {
+	g := New()
+	if _, err := g.AddTriple(Triple{Subject: "ghost", Predicate: "p", Object: "o"}); err == nil {
+		t.Fatal("unknown subject must be rejected")
+	}
+	g.AddEntity("X", "", "")
+	if _, err := g.AddTriple(Triple{Subject: "x", Predicate: "", Object: "o"}); err == nil {
+		t.Fatal("empty predicate must be rejected")
+	}
+}
+
+func TestObjectEntityLinking(t *testing.T) {
+	g := buildMovieGraph(t)
+	ts := g.TriplesByKey(CanonicalID("Heat"), "director")
+	if len(ts) != 2 {
+		t.Fatalf("homologous key lookup = %d triples", len(ts))
+	}
+	if ts[0].ObjectEntity != CanonicalID("Michael Mann") {
+		t.Fatalf("object entity not linked: %+v", ts[0])
+	}
+	back := g.TriplesByObjectEntity(CanonicalID("Michael Mann"))
+	if len(back) != 2 {
+		t.Fatalf("reverse index = %d", len(back))
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	g := buildMovieGraph(t)
+	n := g.Neighbors(CanonicalID("Heat"))
+	if !reflect.DeepEqual(n, []string{CanonicalID("Michael Mann")}) {
+		t.Fatalf("Neighbors(Heat) = %v", n)
+	}
+	if d := g.Degree(CanonicalID("Heat")); d != 3 {
+		t.Fatalf("Degree(Heat) = %d, want 3", d)
+	}
+	if g.MaxDegree() < 3 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+}
+
+func TestRemoveTriple(t *testing.T) {
+	g := buildMovieGraph(t)
+	ids := g.TripleIDs()
+	before := g.NumTriples()
+	if !g.RemoveTriple(ids[0]) {
+		t.Fatal("existing triple must be removable")
+	}
+	if g.RemoveTriple(ids[0]) {
+		t.Fatal("double removal must return false")
+	}
+	if g.NumTriples() != before-1 {
+		t.Fatalf("triples = %d, want %d", g.NumTriples(), before-1)
+	}
+	for _, tid := range g.TripleIDs() {
+		tr, ok := g.Triple(tid)
+		if !ok {
+			t.Fatalf("dangling id %s", tid)
+		}
+		found := false
+		for _, s := range g.TriplesBySubject(tr.Subject) {
+			if s.ID == tid {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("index lost triple %s", tid)
+		}
+	}
+}
+
+func TestBFSDepthLimit(t *testing.T) {
+	g := New()
+	// chain a -> b -> c -> d
+	for _, n := range []string{"a", "b", "c", "d"} {
+		g.AddEntity(n, "", "")
+	}
+	link := func(s, o string) {
+		if _, err := g.AddTriple(Triple{Subject: s, Predicate: "next", Object: o}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link("a", "b")
+	link("b", "c")
+	link("c", "d")
+	if got := g.BFS("a", 1); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("BFS depth 1 = %v", got)
+	}
+	if got := g.BFS("a", -1); len(got) != 4 {
+		t.Fatalf("BFS unbounded = %v", got)
+	}
+	if g.BFS("ghost", 1) != nil {
+		t.Fatal("BFS from unknown start must be nil")
+	}
+}
+
+func TestDFSVisitsAllReachable(t *testing.T) {
+	g := buildMovieGraph(t)
+	order := g.DFS(CanonicalID("Heat"))
+	want := []string{CanonicalID("Heat"), CanonicalID("Michael Mann")}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("DFS = %v, want %v", order, want)
+	}
+}
+
+func TestSubgraphAround(t *testing.T) {
+	g := buildMovieGraph(t)
+	sg := g.SubgraphAround(CanonicalID("Heat"), 1)
+	if sg.Center != CanonicalID("Heat") {
+		t.Fatalf("center = %q", sg.Center)
+	}
+	if len(sg.Triples) != 3 {
+		t.Fatalf("subgraph triples = %d, want 3", len(sg.Triples))
+	}
+}
+
+func TestTwoHopPathSupportLiteralAgreement(t *testing.T) {
+	g := New()
+	g.AddEntity("F1", "Flight", "flights")
+	add := func(obj string) *Triple {
+		id, err := g.AddTriple(Triple{Subject: "f1", Predicate: "status", Object: obj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := g.Triple(id)
+		return tr
+	}
+	a := add("delayed")
+	add("delayed")
+	b := add("on time")
+	if got := g.TwoHopPathSupport(a); got != 0.5 {
+		t.Fatalf("agreeing triple support = %v, want 0.5", got)
+	}
+	if got := g.TwoHopPathSupport(b); got != 0 {
+		t.Fatalf("lone dissenter support = %v, want 0", got)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := buildMovieGraph(t)
+	st := g.ComputeStats()
+	if st.Entities != 4 || st.Triples != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Sources != 3 {
+		t.Fatalf("sources = %d, want 3 (imdb,tmdb,wiki)", st.Sources)
+	}
+}
+
+// Property: after arbitrary add/remove interleavings, every index entry
+// resolves to a live triple and counts agree.
+func TestIndexConsistencyProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		g := New()
+		for i := 0; i < 5; i++ {
+			g.AddEntity(fmt.Sprintf("e%d", i), "T", "d")
+		}
+		var live []string
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				subj := fmt.Sprintf("e%d", op%5)
+				id, err := g.AddTriple(Triple{
+					Subject:   subj,
+					Predicate: fmt.Sprintf("p%d", op%4),
+					Object:    fmt.Sprintf("v%d", op%7),
+				})
+				if err != nil {
+					return false
+				}
+				live = append(live, id)
+			} else {
+				victim := live[int(op)%len(live)]
+				g.RemoveTriple(victim)
+				live = removeID(live, victim)
+			}
+		}
+		if g.NumTriples() != len(live) {
+			return false
+		}
+		sort.Strings(live)
+		got := g.TripleIDs()
+		if len(got) != len(live) {
+			return false
+		}
+		for i := range got {
+			if got[i] != live[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package linegraph
+
+import (
+	"strings"
+	"testing"
+
+	"multirag/internal/kg"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := kg.New()
+	g.AddEntity("CA981", "Flight", "flights")
+	for _, src := range []string{"a", "b", "c", "d"} {
+		if _, err := g.AddTriple(kg.Triple{
+			Subject: "ca981", Predicate: "status", Object: "Delayed",
+			Source: src, Weight: 0.9,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sg := Build(g)
+	node, ok := sg.Lookup("ca981", "status")
+	if !ok {
+		t.Fatal("node missing")
+	}
+	var sb strings.Builder
+	if err := sg.WriteDOT(&sb, node); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "graph homologous {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a DOT graph:\n%s", out)
+	}
+	// K4: 6 dashed pairwise edges + 4 centre edges.
+	if got := strings.Count(out, "style=dashed"); got != 6 {
+		t.Fatalf("pairwise edges = %d, want 6 (Fig. 4 K4)", got)
+	}
+	if got := strings.Count(out, "snode --"); got != 4 {
+		t.Fatalf("centre edges = %d, want 4", got)
+	}
+	if err := sg.WriteDOT(&sb, nil); err == nil {
+		t.Fatal("nil node must error")
+	}
+}
+
+func TestDotIDSanitises(t *testing.T) {
+	if got := dotID("t00001/row#3"); strings.ContainsAny(got, "/#") {
+		t.Fatalf("unsanitised id %q", got)
+	}
+}

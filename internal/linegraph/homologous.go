@@ -1,0 +1,175 @@
+package linegraph
+
+import (
+	"sort"
+
+	"multirag/internal/kg"
+)
+
+// HomologousNode is the homologous centre node snode = {name, meta, num,
+// C(v)} of Definition 4, plus the member triples U_snode and their associated
+// edge weights E_snode = {wᵢ}. One homologous node aggregates every claim the
+// corpus makes about a single (subject, predicate) key.
+type HomologousNode struct {
+	// Key is the (subject, predicate) key shared by all member triples.
+	Key string
+	// SubjectID and Name decompose the key: Name is the common attribute
+	// name, SubjectID the canonical subject entity.
+	SubjectID string
+	Name      string
+	// Meta carries shared metadata (domain set, format set).
+	Meta map[string]string
+	// Num is the number of homologous data instances (num in Def. 4).
+	Num int
+	// Confidence is the graph-level confidence C(G) of the homologous
+	// subgraph; it is zero until MCC fills it.
+	Confidence float64
+	// Members lists the member triple IDs, sorted.
+	Members []string
+	// Weights maps member triple ID → association-edge weight wᵢ (the
+	// triple's extraction confidence).
+	Weights map[string]float64
+	// Sources lists the distinct sources contributing members, sorted.
+	Sources []string
+}
+
+// SG is the homologous triple line graph SG′ of Definition 5: every
+// homologous subgraph (one per HomologousNode) plus the isolated triples that
+// have no homologous partner. SG′ is used only for consistency checks and
+// homologous retrieval; all other queries run on the original graph G.
+type SG struct {
+	// Nodes maps key → homologous node, for all keys with ≥2 members.
+	Nodes map[string]*HomologousNode
+	// Isolated lists triple IDs whose key has a single member, sorted.
+	Isolated []string
+	// byKeyIsolated indexes isolated triples by their key for lookups.
+	byKeyIsolated map[string]string
+	graph         *kg.Graph
+}
+
+// Build runs homologous subgraph matching (§III-C) over g and assembles SG′.
+//
+// The algorithm follows the paper: initialise the unvisited set to all triple
+// nodes; group nodes by their retrieval key; every group with at least two
+// members forms a homologous subgraph (its line-graph form is the complete
+// graph over the members, Fig. 4); singleton groups go to the isolated point
+// set LVs. Grouping is a single pass with a hash map and the final ordering
+// sort is O(n log n), matching the stated complexity bound.
+func Build(g *kg.Graph) *SG {
+	sg := &SG{
+		Nodes:         map[string]*HomologousNode{},
+		byKeyIsolated: map[string]string{},
+		graph:         g,
+	}
+	groups := map[string][]*kg.Triple{}
+	for _, id := range g.TripleIDs() {
+		t, _ := g.Triple(id)
+		groups[t.Key()] = append(groups[t.Key()], t)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		members := groups[key]
+		if len(members) < 2 {
+			sg.Isolated = append(sg.Isolated, members[0].ID)
+			sg.byKeyIsolated[key] = members[0].ID
+			continue
+		}
+		node := &HomologousNode{
+			Key:       key,
+			SubjectID: members[0].Subject,
+			Name:      members[0].Predicate,
+			Meta:      map[string]string{},
+			Num:       len(members),
+			Weights:   map[string]float64{},
+		}
+		srcSet := map[string]bool{}
+		for _, t := range members {
+			node.Members = append(node.Members, t.ID)
+			node.Weights[t.ID] = t.Weight
+			srcSet[t.Source] = true
+		}
+		sort.Strings(node.Members)
+		for s := range srcSet {
+			node.Sources = append(node.Sources, s)
+		}
+		sort.Strings(node.Sources)
+		sg.Nodes[key] = node
+	}
+	sort.Strings(sg.Isolated)
+	return sg
+}
+
+// Graph returns the underlying knowledge graph.
+func (sg *SG) Graph() *kg.Graph { return sg.graph }
+
+// Lookup returns the homologous node for (subject, predicate), if any.
+func (sg *SG) Lookup(subjectID, predicate string) (*HomologousNode, bool) {
+	n, ok := sg.Nodes[subjectID+"\x00"+predicate]
+	return n, ok
+}
+
+// LookupIsolated returns the isolated triple for (subject, predicate), if the
+// key exists but has a single member.
+func (sg *SG) LookupIsolated(subjectID, predicate string) (*kg.Triple, bool) {
+	id, ok := sg.byKeyIsolated[subjectID+"\x00"+predicate]
+	if !ok {
+		return nil, false
+	}
+	return sg.graph.Triple(id)
+}
+
+// MemberTriples resolves a homologous node's member IDs to triples, in
+// member order.
+func (sg *SG) MemberTriples(n *HomologousNode) []*kg.Triple {
+	out := make([]*kg.Triple, 0, len(n.Members))
+	for _, id := range n.Members {
+		if t, ok := sg.graph.Triple(id); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SubgraphLineGraph returns the line-graph form of one homologous subgraph:
+// the complete graph over its members (every pair shares the subject entity,
+// so every pair is adjacent — Fig. 4's K₄ example).
+func (sg *SG) SubgraphLineGraph(n *HomologousNode) *LineGraph {
+	lg := &LineGraph{Adj: map[string][]string{}}
+	lg.Nodes = append(lg.Nodes, n.Members...)
+	for _, a := range n.Members {
+		for _, b := range n.Members {
+			if a != b {
+				lg.Adj[a] = append(lg.Adj[a], b)
+			}
+		}
+	}
+	return lg
+}
+
+// Stats summarises SG′ for reporting and debugging.
+type Stats struct {
+	HomologousNodes int
+	Isolated        int
+	MeanGroupSize   float64
+	MaxGroupSize    int
+}
+
+// ComputeStats returns aggregate statistics of the homologous structure.
+func (sg *SG) ComputeStats() Stats {
+	st := Stats{HomologousNodes: len(sg.Nodes), Isolated: len(sg.Isolated)}
+	total := 0
+	for _, n := range sg.Nodes {
+		total += n.Num
+		if n.Num > st.MaxGroupSize {
+			st.MaxGroupSize = n.Num
+		}
+	}
+	if len(sg.Nodes) > 0 {
+		st.MeanGroupSize = float64(total) / float64(len(sg.Nodes))
+	}
+	return st
+}

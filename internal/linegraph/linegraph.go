@@ -1,0 +1,77 @@
+// Package linegraph implements the multi-source line graph machinery of
+// §II–§III-C: the triple line-graph transform (Definition 2), homologous data
+// detection (Definition 3), homologous nodes and subgraphs (Definition 4) and
+// the homologous triple line graph SG′ (Definition 5) with its O(n log n)
+// matching algorithm. SG′ is the structure that makes multi-source
+// consistency checks a hash lookup instead of a corpus scan.
+package linegraph
+
+import (
+	"sort"
+
+	"multirag/internal/kg"
+)
+
+// LineGraph is the line-graph transform G′ of a knowledge graph G
+// (Definition 2): each node is a triple of G; two nodes are adjacent iff
+// their triples share an entity (subject or linked object).
+type LineGraph struct {
+	// Nodes lists the triple IDs, sorted.
+	Nodes []string
+	// Adj maps a triple ID to its adjacent triple IDs, each sorted.
+	Adj map[string][]string
+}
+
+// Transform computes the line graph of g. Adjacency is derived through the
+// shared-entity incidence lists, so the cost is proportional to the sum of
+// squared entity degrees rather than |T|².
+func Transform(g *kg.Graph) *LineGraph {
+	lg := &LineGraph{Adj: map[string][]string{}}
+	lg.Nodes = g.TripleIDs()
+	// Incidence: entity → triples touching it.
+	incidence := map[string][]string{}
+	for _, id := range lg.Nodes {
+		t, _ := g.Triple(id)
+		incidence[t.Subject] = append(incidence[t.Subject], id)
+		if t.ObjectEntity != "" && t.ObjectEntity != t.Subject {
+			incidence[t.ObjectEntity] = append(incidence[t.ObjectEntity], id)
+		}
+	}
+	seen := map[string]map[string]bool{}
+	for _, ids := range incidence {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if seen[a] == nil {
+					seen[a] = map[string]bool{}
+				}
+				if seen[a][b] {
+					continue
+				}
+				seen[a][b] = true
+				if seen[b] == nil {
+					seen[b] = map[string]bool{}
+				}
+				seen[b][a] = true
+				lg.Adj[a] = append(lg.Adj[a], b)
+				lg.Adj[b] = append(lg.Adj[b], a)
+			}
+		}
+	}
+	for _, neigh := range lg.Adj {
+		sort.Strings(neigh)
+	}
+	return lg
+}
+
+// NumEdges returns the number of undirected edges in the line graph.
+func (lg *LineGraph) NumEdges() int {
+	total := 0
+	for _, n := range lg.Adj {
+		total += len(n)
+	}
+	return total / 2
+}
+
+// Degree returns the degree of a line-graph node.
+func (lg *LineGraph) Degree(tripleID string) int { return len(lg.Adj[tripleID]) }

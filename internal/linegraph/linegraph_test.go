@@ -1,0 +1,231 @@
+package linegraph
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"multirag/internal/kg"
+)
+
+func graphWithConflicts(t *testing.T) *kg.Graph {
+	t.Helper()
+	g := kg.New()
+	g.AddEntity("CA981", "Flight", "flights")
+	g.AddEntity("Heat", "Movie", "movies")
+	add := func(subj, pred, obj, src string, w float64) {
+		t.Helper()
+		if _, err := g.AddTriple(kg.Triple{
+			Subject: kg.CanonicalID(subj), Predicate: pred, Object: obj,
+			Source: src, Weight: w,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Four homologous claims about CA981 status (Fig. 4's K4 example).
+	add("CA981", "status", "Delayed", "airline", 0.9)
+	add("CA981", "status", "Delayed", "airport", 0.9)
+	add("CA981", "status", "On time", "forum", 0.4)
+	add("CA981", "status", "Delayed", "weather", 0.8)
+	// Two homologous year claims about Heat.
+	add("Heat", "year", "1995", "imdb", 1)
+	add("Heat", "year", "1996", "scraper", 0.5)
+	// One isolated claim.
+	add("Heat", "runtime", "170", "imdb", 1)
+	return g
+}
+
+func TestTransformSharedSubject(t *testing.T) {
+	g := graphWithConflicts(t)
+	lg := Transform(g)
+	if len(lg.Nodes) != g.NumTriples() {
+		t.Fatalf("line graph nodes = %d, want %d", len(lg.Nodes), g.NumTriples())
+	}
+	// The 4 CA981 triples share a subject: complete K4 = 6 edges. The 3 Heat
+	// triples give K3 = 3 edges. Total 9.
+	if got := lg.NumEdges(); got != 9 {
+		t.Fatalf("edges = %d, want 9", got)
+	}
+}
+
+func TestTransformSharedObjectEntity(t *testing.T) {
+	g := kg.New()
+	g.AddEntity("A", "", "")
+	g.AddEntity("B", "", "")
+	g.AddEntity("C", "", "")
+	// A -> C and B -> C share the object entity C.
+	if _, err := g.AddTriple(kg.Triple{Subject: "a", Predicate: "links", Object: "C"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddTriple(kg.Triple{Subject: "b", Predicate: "links", Object: "C"}); err != nil {
+		t.Fatal(err)
+	}
+	lg := Transform(g)
+	if lg.NumEdges() != 1 {
+		t.Fatalf("object-shared triples must be adjacent, edges = %d", lg.NumEdges())
+	}
+}
+
+func TestBuildHomologousGroups(t *testing.T) {
+	g := graphWithConflicts(t)
+	sg := Build(g)
+	if len(sg.Nodes) != 2 {
+		t.Fatalf("homologous nodes = %d, want 2", len(sg.Nodes))
+	}
+	node, ok := sg.Lookup(kg.CanonicalID("CA981"), "status")
+	if !ok {
+		t.Fatal("CA981 status group missing")
+	}
+	if node.Num != 4 || len(node.Members) != 4 {
+		t.Fatalf("group size = %d", node.Num)
+	}
+	if len(node.Sources) != 4 {
+		t.Fatalf("sources = %v", node.Sources)
+	}
+	if node.Name != "status" || node.SubjectID != kg.CanonicalID("CA981") {
+		t.Fatalf("key decomposition wrong: %+v", node)
+	}
+	for _, id := range node.Members {
+		if node.Weights[id] <= 0 {
+			t.Fatalf("member %s has no weight", id)
+		}
+	}
+}
+
+func TestBuildIsolated(t *testing.T) {
+	g := graphWithConflicts(t)
+	sg := Build(g)
+	if len(sg.Isolated) != 1 {
+		t.Fatalf("isolated = %v, want exactly the runtime triple", sg.Isolated)
+	}
+	tr, ok := sg.LookupIsolated(kg.CanonicalID("Heat"), "runtime")
+	if !ok || tr.Object != "170" {
+		t.Fatalf("isolated lookup = %v, %v", tr, ok)
+	}
+	if _, ok := sg.Lookup(kg.CanonicalID("Heat"), "runtime"); ok {
+		t.Fatal("singleton key must not form a homologous node")
+	}
+}
+
+func TestSubgraphLineGraphComplete(t *testing.T) {
+	g := graphWithConflicts(t)
+	sg := Build(g)
+	node, _ := sg.Lookup(kg.CanonicalID("CA981"), "status")
+	lg := sg.SubgraphLineGraph(node)
+	// K4: every node has degree 3 (Fig. 4).
+	for _, id := range lg.Nodes {
+		if lg.Degree(id) != 3 {
+			t.Fatalf("degree(%s) = %d, want 3", id, lg.Degree(id))
+		}
+	}
+	if lg.NumEdges() != 6 {
+		t.Fatalf("K4 edges = %d, want 6", lg.NumEdges())
+	}
+}
+
+func TestMemberTriples(t *testing.T) {
+	g := graphWithConflicts(t)
+	sg := Build(g)
+	node, _ := sg.Lookup(kg.CanonicalID("Heat"), "year")
+	ts := sg.MemberTriples(node)
+	if len(ts) != 2 {
+		t.Fatalf("member triples = %d", len(ts))
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := graphWithConflicts(t)
+	st := Build(g).ComputeStats()
+	if st.HomologousNodes != 2 || st.Isolated != 1 || st.MaxGroupSize != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MeanGroupSize != 3 {
+		t.Fatalf("mean group size = %v, want 3", st.MeanGroupSize)
+	}
+}
+
+// Property: every triple lands in exactly one place — a homologous node or
+// the isolated set — and group sizes sum to the triple count.
+func TestPartitionProperty(t *testing.T) {
+	f := func(assign []uint8) bool {
+		g := kg.New()
+		for i := 0; i < 4; i++ {
+			g.AddEntity(fmt.Sprintf("e%d", i), "", "")
+		}
+		for i, a := range assign {
+			_, err := g.AddTriple(kg.Triple{
+				Subject:   fmt.Sprintf("e%d", a%4),
+				Predicate: fmt.Sprintf("p%d", (a/4)%3),
+				Object:    fmt.Sprintf("v%d", i),
+			})
+			if err != nil {
+				return false
+			}
+		}
+		sg := Build(g)
+		total := len(sg.Isolated)
+		seen := map[string]bool{}
+		for _, id := range sg.Isolated {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		for _, n := range sg.Nodes {
+			if n.Num < 2 || n.Num != len(n.Members) {
+				return false
+			}
+			total += n.Num
+			for _, id := range n.Members {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return total == g.NumTriples()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: line-graph adjacency is symmetric and irreflexive.
+func TestLineGraphSymmetryProperty(t *testing.T) {
+	f := func(assign []uint8) bool {
+		g := kg.New()
+		for i := 0; i < 4; i++ {
+			g.AddEntity(fmt.Sprintf("e%d", i), "", "")
+		}
+		for i, a := range assign {
+			g.AddTriple(kg.Triple{
+				Subject:   fmt.Sprintf("e%d", a%4),
+				Predicate: "p",
+				Object:    fmt.Sprintf("e%d", (a/4)%4), // may link entities
+			})
+			_ = i
+		}
+		lg := Transform(g)
+		for a, neigh := range lg.Adj {
+			for _, b := range neigh {
+				if a == b {
+					return false
+				}
+				found := false
+				for _, back := range lg.Adj[b] {
+					if back == a {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

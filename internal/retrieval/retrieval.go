@@ -1,0 +1,222 @@
+// Package retrieval provides the dense-retrieval substrate used by the
+// multi-hop QA experiments and by MKLGP's multi-document filtering step:
+// token-budgeted chunking, deterministic feature-hashed embeddings and a
+// cosine top-k index. The embedding is a stand-in for the paper's neural
+// retriever: it preserves the property that lexically related text scores
+// high, which is what the benchmark corpora exercise.
+package retrieval
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"multirag/internal/textutil"
+)
+
+// Chunk is one retrievable text unit with provenance.
+type Chunk struct {
+	ID     string
+	DocID  string
+	Source string
+	Text   string
+}
+
+// ChunkText splits text into chunks of at most maxTokens tokens, breaking at
+// sentence boundaries where possible. maxTokens <= 0 selects the default of
+// 64.
+func ChunkText(docID, source, text string, maxTokens int) []Chunk {
+	if maxTokens <= 0 {
+		maxTokens = 64
+	}
+	sentences := splitSentences(text)
+	var chunks []Chunk
+	var buf []string
+	used := 0
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		chunks = append(chunks, Chunk{
+			ID:     chunkID(docID, len(chunks)),
+			DocID:  docID,
+			Source: source,
+			Text:   strings.Join(buf, ". ") + ".",
+		})
+		buf = nil
+		used = 0
+	}
+	for _, s := range sentences {
+		n := len(textutil.Tokenize(s))
+		if used+n > maxTokens && used > 0 {
+			flush()
+		}
+		buf = append(buf, s)
+		used += n
+	}
+	flush()
+	return chunks
+}
+
+func chunkID(docID string, n int) string {
+	return docID + "#c" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func splitSentences(text string) []string {
+	var out []string
+	for _, part := range strings.FieldsFunc(text, func(r rune) bool { return r == '.' || r == '\n' }) {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// Vector is a dense embedding.
+type Vector []float32
+
+// DefaultDim is the embedding width used across the repository.
+const DefaultDim = 256
+
+// Embed maps text to a deterministic L2-normalised feature-hashed vector:
+// unigrams and bigrams of the content tokens are hashed into dim buckets
+// with a sign hash (the classic hashing trick), giving stable lexical
+// similarity under cosine.
+func Embed(text string, dim int) Vector {
+	if dim <= 0 {
+		dim = DefaultDim
+	}
+	v := make(Vector, dim)
+	toks := textutil.TokenizeContent(text)
+	feats := make([]string, 0, len(toks)*2)
+	feats = append(feats, toks...)
+	feats = append(feats, textutil.NGrams(toks, 2)...)
+	for _, f := range feats {
+		h := textutil.Hash64("emb|" + f)
+		idx := int(h % uint64(dim))
+		sign := float32(1)
+		if (h>>32)&1 == 1 {
+			sign = -1
+		}
+		v[idx] += sign
+	}
+	norm := float32(0)
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm > 0 {
+		inv := float32(1 / math.Sqrt(float64(norm)))
+		for i := range v {
+			v[i] *= inv
+		}
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of two equally sized vectors
+// (already-normalised vectors make this the dot product).
+func Cosine(a, b Vector) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var dot float64
+	for i := 0; i < n; i++ {
+		dot += float64(a[i]) * float64(b[i])
+	}
+	return dot
+}
+
+// Hit is one retrieval result.
+type Hit struct {
+	Chunk Chunk
+	Score float64
+}
+
+// Index is an exact cosine top-k index over chunks.
+type Index struct {
+	dim    int
+	chunks []Chunk
+	vecs   []Vector
+}
+
+// NewIndex returns an empty index with the given embedding width
+// (<=0 selects DefaultDim).
+func NewIndex(dim int) *Index {
+	if dim <= 0 {
+		dim = DefaultDim
+	}
+	return &Index{dim: dim}
+}
+
+// Add inserts a chunk.
+func (ix *Index) Add(c Chunk) {
+	ix.chunks = append(ix.chunks, c)
+	ix.vecs = append(ix.vecs, Embed(c.Text, ix.dim))
+}
+
+// Len returns the number of indexed chunks.
+func (ix *Index) Len() int { return len(ix.chunks) }
+
+// Search returns the top-k chunks by cosine similarity to the query, ties
+// broken by chunk ID for determinism.
+func (ix *Index) Search(query string, k int) []Hit {
+	if k <= 0 || len(ix.chunks) == 0 {
+		return nil
+	}
+	qv := Embed(query, ix.dim)
+	hits := make([]Hit, len(ix.chunks))
+	for i := range ix.chunks {
+		hits[i] = Hit{Chunk: ix.chunks[i], Score: Cosine(qv, ix.vecs[i])}
+	}
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Chunk.ID < hits[j].Chunk.ID
+	})
+	if k > len(hits) {
+		k = len(hits)
+	}
+	return hits[:k]
+}
+
+// SearchFiltered is Search restricted to chunks whose source passes keep.
+func (ix *Index) SearchFiltered(query string, k int, keep func(source string) bool) []Hit {
+	if k <= 0 {
+		return nil
+	}
+	qv := Embed(query, ix.dim)
+	var hits []Hit
+	for i := range ix.chunks {
+		if keep != nil && !keep(ix.chunks[i].Source) {
+			continue
+		}
+		hits = append(hits, Hit{Chunk: ix.chunks[i], Score: Cosine(qv, ix.vecs[i])})
+	}
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Chunk.ID < hits[j].Chunk.ID
+	})
+	if k > len(hits) {
+		k = len(hits)
+	}
+	return hits[:k]
+}

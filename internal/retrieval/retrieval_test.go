@@ -1,0 +1,155 @@
+package retrieval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkTextRespectsBudget(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, "Sentence number %d has exactly seven tokens. ", i)
+	}
+	chunks := ChunkText("doc1", "src", sb.String(), 32)
+	if len(chunks) < 5 {
+		t.Fatalf("expected several chunks, got %d", len(chunks))
+	}
+	for _, c := range chunks {
+		if n := len(strings.Fields(c.Text)); n > 40 {
+			t.Fatalf("chunk exceeds budget badly: %d words", n)
+		}
+		if c.DocID != "doc1" || c.Source != "src" {
+			t.Fatalf("provenance lost: %+v", c)
+		}
+	}
+	// IDs must be unique.
+	seen := map[string]bool{}
+	for _, c := range chunks {
+		if seen[c.ID] {
+			t.Fatalf("duplicate chunk id %s", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestChunkTextSingleSentence(t *testing.T) {
+	chunks := ChunkText("d", "s", "One short sentence.", 0)
+	if len(chunks) != 1 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+}
+
+func TestChunkTextEmpty(t *testing.T) {
+	if got := ChunkText("d", "s", "   ", 10); len(got) != 0 {
+		t.Fatalf("empty text must produce no chunks, got %v", got)
+	}
+}
+
+func TestEmbedNormalised(t *testing.T) {
+	v := Embed("The director of Heat is Michael Mann", DefaultDim)
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if math.Abs(norm-1) > 1e-5 {
+		t.Fatalf("|v| = %v, want 1", math.Sqrt(norm))
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	a := Embed("hello world", 64)
+	b := Embed("hello world", 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding must be deterministic")
+		}
+	}
+}
+
+func TestEmbedSimilarityOrdering(t *testing.T) {
+	q := Embed("director of Heat", DefaultDim)
+	rel := Embed("The director of Heat is Michael Mann", DefaultDim)
+	irr := Embed("Stock prices rose sharply in early trading", DefaultDim)
+	if Cosine(q, rel) <= Cosine(q, irr) {
+		t.Fatalf("lexically related text must score higher: %v vs %v",
+			Cosine(q, rel), Cosine(q, irr))
+	}
+}
+
+func TestCosineBoundsProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		c := Cosine(Embed(a, 64), Embed(b, 64))
+		return c >= -1-1e-6 && c <= 1+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildIndex(t *testing.T) *Index {
+	t.Helper()
+	ix := NewIndex(DefaultDim)
+	docs := []struct{ id, src, text string }{
+		{"d1", "imdb", "The director of Heat is Michael Mann. The year of Heat is 1995."},
+		{"d2", "wiki", "The director of Inception is Christopher Nolan."},
+		{"d3", "forum", "The stock price of ACME reached a new high."},
+		{"d4", "news", "Typhoon Haikui impacts airport departures after 14:00."},
+	}
+	for _, d := range docs {
+		for _, c := range ChunkText(d.id, d.src, d.text, 64) {
+			ix.Add(c)
+		}
+	}
+	return ix
+}
+
+func TestIndexSearchTopK(t *testing.T) {
+	ix := buildIndex(t)
+	hits := ix.Search("Who is the director of Heat?", 2)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	if hits[0].Chunk.DocID != "d1" {
+		t.Fatalf("top hit = %s, want d1", hits[0].Chunk.DocID)
+	}
+	if hits[0].Score < hits[1].Score {
+		t.Fatal("hits must be sorted by score")
+	}
+}
+
+func TestIndexSearchEdgeCases(t *testing.T) {
+	ix := NewIndex(0)
+	if ix.Search("q", 3) != nil {
+		t.Fatal("empty index must return nil")
+	}
+	ix = buildIndex(t)
+	if got := ix.Search("q", 0); got != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	if got := ix.Search("director", 100); len(got) != ix.Len() {
+		t.Fatalf("k beyond size must return all %d, got %d", ix.Len(), len(got))
+	}
+}
+
+func TestSearchFiltered(t *testing.T) {
+	ix := buildIndex(t)
+	hits := ix.SearchFiltered("director of Heat", 4, func(src string) bool { return src != "imdb" })
+	for _, h := range hits {
+		if h.Chunk.Source == "imdb" {
+			t.Fatal("filtered source leaked")
+		}
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	ix := NewIndex(64)
+	ix.Add(Chunk{ID: "b", DocID: "b", Text: "identical text"})
+	ix.Add(Chunk{ID: "a", DocID: "a", Text: "identical text"})
+	hits := ix.Search("identical text", 2)
+	if hits[0].Chunk.ID != "a" {
+		t.Fatalf("ties must break by ID: got %s first", hits[0].Chunk.ID)
+	}
+}

@@ -1,0 +1,74 @@
+package textutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDistNormalised(t *testing.T) {
+	d := NewDist([]string{"a", "a", "b"}, []string{"c"})
+	if math.Abs(d.Total()-1) > 1e-12 {
+		t.Fatalf("total = %v, want 1", d.Total())
+	}
+	if math.Abs(d["a"]-0.5) > 1e-12 {
+		t.Fatalf("p(a) = %v, want 0.5", d["a"])
+	}
+}
+
+func TestEntropyUniform(t *testing.T) {
+	d := NewDist([]string{"a", "b", "c", "d"})
+	want := math.Log(4)
+	if got := d.Entropy(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("H(uniform4) = %v, want %v", got, want)
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	d := NewDist([]string{"only", "only"})
+	if got := d.Entropy(); got != 0 {
+		t.Fatalf("H(point mass) = %v, want 0", got)
+	}
+}
+
+func TestEntropyNonNegativeProperty(t *testing.T) {
+	f := func(words []string) bool {
+		if len(words) == 0 {
+			return true
+		}
+		d := NewDist(words)
+		h := d.Entropy()
+		// 0 <= H <= log(|support|)
+		return h >= -1e-12 && h <= math.Log(float64(len(d)))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupportSorted(t *testing.T) {
+	d := NewDist([]string{"zebra", "apple", "mango"})
+	sup := d.Support()
+	for i := 1; i < len(sup); i++ {
+		if sup[i-1] >= sup[i] {
+			t.Fatalf("support not sorted: %v", sup)
+		}
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	if Hash64("multirag") != Hash64("multirag") {
+		t.Fatal("Hash64 must be deterministic")
+	}
+	if Hash01("x") < 0 || Hash01("x") >= 1 {
+		t.Fatalf("Hash01 out of range: %v", Hash01("x"))
+	}
+	f := func(s string, n uint8) bool {
+		m := int(n%100) + 1
+		v := HashN(s, m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

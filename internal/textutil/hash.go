@@ -1,0 +1,25 @@
+package textutil
+
+import "hash/fnv"
+
+// Hash64 returns the FNV-1a 64-bit hash of s. It is the single stable hash
+// used across the repository (IDs, embeddings, seeded noise) so that results
+// are reproducible run to run.
+func Hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// HashN returns Hash64(s) folded into [0, n). n must be > 0.
+func HashN(s string, n int) int {
+	if n <= 0 {
+		panic("textutil: HashN with non-positive n")
+	}
+	return int(Hash64(s) % uint64(n))
+}
+
+// Hash01 maps s to a deterministic pseudo-uniform float in [0,1).
+func Hash01(s string) float64 {
+	return float64(Hash64(s)>>11) / float64(1<<53)
+}

@@ -1,0 +1,156 @@
+package textutil
+
+// Jaccard returns |A∩B| / |A∪B| over the token sets of a and b.
+// Two empty slices are defined to have similarity 1; one empty and one
+// non-empty have similarity 0.
+func Jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	setA := make(map[string]bool, len(a))
+	for _, t := range a {
+		setA[t] = true
+	}
+	setB := make(map[string]bool, len(b))
+	for _, t := range b {
+		setB[t] = true
+	}
+	inter := 0
+	for t := range setA {
+		if setB[t] {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	return float64(inter) / float64(union)
+}
+
+// Dice returns the Sørensen–Dice coefficient 2|A∩B| / (|A|+|B|) over token
+// sets, with the same empty-input conventions as Jaccard.
+func Dice(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	setA := make(map[string]bool, len(a))
+	for _, t := range a {
+		setA[t] = true
+	}
+	setB := make(map[string]bool, len(b))
+	for _, t := range b {
+		setB[t] = true
+	}
+	inter := 0
+	for t := range setA {
+		if setB[t] {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(setA)+len(setB))
+}
+
+// CosineTokens returns the cosine similarity between the term-frequency
+// vectors of the two token slices.
+func CosineTokens(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	fa := make(map[string]float64, len(a))
+	for _, t := range a {
+		fa[t]++
+	}
+	fb := make(map[string]float64, len(b))
+	for _, t := range b {
+		fb[t]++
+	}
+	var dot, na, nb float64
+	for t, c := range fa {
+		na += c * c
+		if cb, ok := fb[t]; ok {
+			dot += c * cb
+		}
+	}
+	for _, c := range fb {
+		nb += c * c
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (sqrt(na) * sqrt(nb))
+}
+
+// Levenshtein returns the edit distance between a and b (unit costs).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// StringSimilarity returns 1 − Levenshtein(a,b)/max(len(a),len(b)),
+// a similarity in [0,1]. Equal strings (including two empties) score 1.
+func StringSimilarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// sqrt is a local Newton-iteration square root so that the package keeps a
+// tiny dependency surface; accuracy is ample for similarity scores.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 32; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

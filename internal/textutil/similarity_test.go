@@ -1,0 +1,88 @@
+package textutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]string{"x"}, nil, 0},
+		{[]string{"a", "b"}, []string{"a", "b"}, 1},
+		{[]string{"a", "b"}, []string{"b", "c"}, 1.0 / 3.0},
+		{[]string{"a", "a", "b"}, []string{"a", "b"}, 1}, // set semantics
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard(%v,%v)=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDice(t *testing.T) {
+	if got := Dice([]string{"a", "b"}, []string{"b", "c"}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Dice = %v want 0.5", got)
+	}
+}
+
+func TestCosineTokens(t *testing.T) {
+	if got := CosineTokens([]string{"a", "b"}, []string{"a", "b"}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical cosine = %v", got)
+	}
+	if got := CosineTokens([]string{"a"}, []string{"b"}); got != 0 {
+		t.Errorf("disjoint cosine = %v", got)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStringSimilarityBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		s := StringSimilarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilaritySymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		ta, tb := Tokenize(a), Tokenize(b)
+		return math.Abs(Jaccard(ta, tb)-Jaccard(tb, ta)) < 1e-12 &&
+			math.Abs(CosineTokens(ta, tb)-CosineTokens(tb, ta)) < 1e-12 &&
+			Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqrtAgainstMath(t *testing.T) {
+	for _, x := range []float64{0, 1e-9, 0.5, 1, 2, 100, 12345.678} {
+		if got, want := sqrt(x), math.Sqrt(x); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("sqrt(%v)=%v want %v", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package textutil
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"Hello, World!", []string{"hello", "world"}},
+		{"CA981 PEK->JFK", []string{"ca981", "pek", "jfk"}},
+		{"  multiple   spaces ", []string{"multiple", "spaces"}},
+		{"a1b2", []string{"a1b2"}},
+		{"UPPER lower MiXeD", []string{"upper", "lower", "mixed"}},
+		{"2024-10-01 14:30", []string{"2024", "10", "01", "14", "30"}},
+		{"---", nil},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeContentDropsStopwords(t *testing.T) {
+	got := TokenizeContent("The Lord of the Rings")
+	want := []string{"lord", "rings"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TokenizeContent = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeContentFallsBackWhenAllStopwords(t *testing.T) {
+	got := TokenizeContent("the of and")
+	want := []string{"the", "of", "and"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TokenizeContent all-stopword = %v, want %v", got, want)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	toks := []string{"a", "b", "c", "d"}
+	if got := NGrams(toks, 2); !reflect.DeepEqual(got, []string{"a b", "b c", "c d"}) {
+		t.Errorf("bigrams = %v", got)
+	}
+	if got := NGrams(toks, 4); !reflect.DeepEqual(got, []string{"a b c d"}) {
+		t.Errorf("4-gram = %v", got)
+	}
+	if NGrams(toks, 5) != nil || NGrams(toks, 0) != nil {
+		t.Errorf("out-of-range n must give nil")
+	}
+}
+
+func TestNormalizeValue(t *testing.T) {
+	if NormalizeValue("  The Matrix ") != NormalizeValue("the matrix") {
+		t.Fatal("normalisation must be case/space insensitive")
+	}
+	if NormalizeValue("A.B.C") != "a b c" {
+		t.Fatalf("got %q", NormalizeValue("A.B.C"))
+	}
+}
+
+func TestTokenizePropertyLowercaseIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Tokenize(s)
+		for _, tok := range once {
+			// Re-tokenising a token must return exactly that token.
+			again := Tokenize(tok)
+			if len(again) != 1 || again[0] != tok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+package multirag
+
+import (
+	"fmt"
+	"time"
+
+	"multirag/internal/adapter"
+	"multirag/internal/confidence"
+	"multirag/internal/core"
+	"multirag/internal/llm"
+)
+
+// File is one raw data file to ingest.
+type File struct {
+	// Domain is the data domain ("movies", "flights", ...).
+	Domain string
+	// Source names the originating data source.
+	Source string
+	// Name is the file name.
+	Name string
+	// Format selects the adapter: "csv", "json", "xml", "kg" or "text".
+	Format string
+	// Meta is optional file metadata. Meta["key"] designates the record
+	// property naming the entity for semi-structured data; Meta["type"] sets
+	// the entity type.
+	Meta map[string]string
+	// Content is the raw file content.
+	Content []byte
+}
+
+// Config tunes a System. The zero value reproduces the paper's
+// hyper-parameter settings (α = 0.5, β = 0.5, θ = 0.7, graph threshold 0.5).
+type Config struct {
+	// Seed drives the deterministic simulated language model.
+	Seed uint64
+	// Alpha balances LLM-assessed authority against historical authority
+	// (Eq. 9); zero means the paper default 0.5. Use a negative value for
+	// an explicit 0.
+	Alpha float64
+	// NodeThreshold is the node-confidence cut-off θ (default 0.7).
+	NodeThreshold float64
+	// GraphThreshold is the subgraph-confidence cut-off (default 0.5).
+	GraphThreshold float64
+	// DisableMKA turns off multi-source knowledge aggregation (ablation).
+	DisableMKA bool
+	// DisableGraphLevel / DisableNodeLevel turn off the two confidence
+	// stages (ablations).
+	DisableGraphLevel bool
+	DisableNodeLevel  bool
+}
+
+// Answer is the trustworthy response to a query.
+type Answer struct {
+	// Query echoes the input.
+	Query string
+	// Values is the answer value set (possibly multi-truth).
+	Values []string
+	// Found reports whether any evidence was located.
+	Found bool
+	// Trusted lists the accepted evidence as (value, source, confidence).
+	Trusted []EvidenceItem
+	// Rejected counts claims eliminated by confidence filtering.
+	Rejected int
+	// GraphConfidences lists C(G) per candidate homologous subgraph.
+	GraphConfidences []float64
+	// Intent is the parsed query intent ("attribute_lookup", "multi_hop",
+	// "comparison").
+	Intent string
+}
+
+// EvidenceItem is one accepted claim.
+type EvidenceItem struct {
+	Value      string
+	Source     string
+	Confidence float64
+}
+
+// Stats summarises an ingested corpus.
+type Stats struct {
+	Entities        int
+	Triples         int
+	HomologousNodes int
+	IsolatedClaims  int
+	Chunks          int
+	BuildTime       time.Duration
+}
+
+// System is a MultiRAG deployment over one corpus. It is not safe for
+// concurrent ingestion; queries are read-only once ingestion is complete.
+type System struct {
+	inner  *core.System
+	chunks int
+}
+
+// Open creates a System from cfg.
+func Open(cfg Config) *System {
+	mcc := confidence.DefaultConfig()
+	if cfg.Alpha != 0 {
+		mcc.Alpha = cfg.Alpha
+		if cfg.Alpha < 0 {
+			mcc.Alpha = 0
+		}
+	}
+	if cfg.NodeThreshold != 0 {
+		mcc.NodeThreshold = cfg.NodeThreshold
+	}
+	if cfg.GraphThreshold != 0 {
+		mcc.GraphThreshold = cfg.GraphThreshold
+	}
+	llmCfg := llm.DefaultConfig()
+	if cfg.Seed != 0 {
+		llmCfg.Seed = cfg.Seed
+	}
+	return &System{inner: core.NewSystem(core.Config{
+		LLM:        llmCfg,
+		MCC:        mcc,
+		DisableMKA: cfg.DisableMKA,
+		Ablation: confidence.Options{
+			DisableGraphLevel: cfg.DisableGraphLevel,
+			DisableNodeLevel:  cfg.DisableNodeLevel,
+		},
+	})}
+}
+
+// IngestFiles adapts, fuses and indexes the given files, extending the
+// knowledge graph and rebuilding the multi-source line graph.
+func (s *System) IngestFiles(files ...File) error {
+	raw := make([]adapter.RawFile, 0, len(files))
+	for _, f := range files {
+		if f.Domain == "" || f.Source == "" || f.Name == "" || f.Format == "" {
+			return fmt.Errorf("multirag: file needs Domain, Source, Name and Format (got %+v)", f)
+		}
+		raw = append(raw, adapter.RawFile{
+			Domain: f.Domain, Source: f.Source, Name: f.Name,
+			Format: f.Format, Meta: f.Meta, Content: f.Content,
+		})
+	}
+	rep, err := s.inner.Ingest(raw)
+	if err != nil {
+		return err
+	}
+	s.chunks += rep.Chunks
+	return nil
+}
+
+// Ask answers a natural-language question over the ingested corpus.
+// Supported grammars: "What is the <attribute> of <entity>?", the two-hop
+// form "What is the <a> of the <r> of <entity>?", and "Do <e1> and <e2> have
+// the same <attribute>?".
+func (s *System) Ask(query string) Answer {
+	a := s.inner.Query(query)
+	out := Answer{
+		Query:            a.Query,
+		Values:           a.Values,
+		Found:            a.Found,
+		Rejected:         a.RejectedCount,
+		GraphConfidences: a.GraphConfidences,
+		Intent:           a.LogicForm.Intent,
+	}
+	for _, tn := range a.Trusted {
+		out.Trusted = append(out.Trusted, EvidenceItem{
+			Value:      tn.Triple.Object,
+			Source:     tn.Triple.Source,
+			Confidence: tn.Confidence,
+		})
+	}
+	return out
+}
+
+// Retrieve returns the top-k supporting document identifiers for a query,
+// ranked by trusted-evidence provenance first and dense similarity second.
+func (s *System) Retrieve(query string, k int) []string {
+	return s.inner.RetrieveDocs(query, k)
+}
+
+// Stats reports corpus statistics.
+func (s *System) Stats() Stats {
+	st := Stats{
+		Entities: s.inner.Graph().NumEntities(),
+		Triples:  s.inner.Graph().NumTriples(),
+		Chunks:   s.chunks,
+	}
+	if sg := s.inner.SG(); sg != nil {
+		hs := sg.ComputeStats()
+		st.HomologousNodes = hs.HomologousNodes
+		st.IsolatedClaims = hs.Isolated
+	}
+	real, llmLat := s.inner.BuildCost()
+	st.BuildTime = real + llmLat
+	return st
+}

@@ -1,0 +1,124 @@
+package multirag
+
+import (
+	"strings"
+	"testing"
+)
+
+func flightFiles() []File {
+	return []File{
+		{Domain: "flights", Source: "airport-api", Name: "schedule", Format: "csv",
+			Content: []byte("flight,origin,destination,status\nCA981,PEK,JFK,Delayed\n")},
+		{Domain: "flights", Source: "airline-app", Name: "live", Format: "json",
+			Content: []byte(`[{"flight":"CA981","status":"Delayed","delay_reason":"Typhoon"}]`)},
+		{Domain: "flights", Source: "weather-feed", Name: "alerts", Format: "text",
+			Content: []byte("The status of CA981 is Delayed. The delay reason of CA981 is Typhoon.")},
+		{Domain: "flights", Source: "forum-user", Name: "posts", Format: "text",
+			Content: []byte("The status of CA981 is On time.")},
+	}
+}
+
+func TestOpenIngestAsk(t *testing.T) {
+	sys := Open(Config{Seed: 3})
+	if err := sys.IngestFiles(flightFiles()...); err != nil {
+		t.Fatalf("IngestFiles: %v", err)
+	}
+	ans := sys.Ask("What is the status of CA981?")
+	if !ans.Found {
+		t.Fatal("answer not found")
+	}
+	if len(ans.Values) != 1 || !strings.EqualFold(ans.Values[0], "delayed") {
+		t.Fatalf("Values = %v, want [Delayed]", ans.Values)
+	}
+	if ans.Rejected == 0 {
+		t.Fatal("the conflicting forum claim must be rejected")
+	}
+	if ans.Intent != "attribute_lookup" {
+		t.Fatalf("intent = %q", ans.Intent)
+	}
+	for _, ev := range ans.Trusted {
+		if ev.Source == "forum-user" {
+			t.Fatal("forum evidence must not be trusted")
+		}
+		if ev.Confidence <= 0 {
+			t.Fatalf("evidence confidence = %v", ev.Confidence)
+		}
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	sys := Open(Config{})
+	if err := sys.IngestFiles(File{Domain: "d"}); err == nil {
+		t.Fatal("incomplete file must be rejected")
+	}
+	if err := sys.IngestFiles(File{Domain: "d", Source: "s", Name: "n", Format: "json", Content: []byte("{bad")}); err == nil {
+		t.Fatal("parse errors must propagate")
+	}
+}
+
+func TestStats(t *testing.T) {
+	sys := Open(Config{})
+	if err := sys.IngestFiles(flightFiles()...); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Entities == 0 || st.Triples == 0 || st.Chunks == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if st.HomologousNodes == 0 {
+		t.Fatal("homologous aggregation missing")
+	}
+	if st.BuildTime <= 0 {
+		t.Fatal("build time not recorded")
+	}
+}
+
+func TestRetrieve(t *testing.T) {
+	sys := Open(Config{})
+	if err := sys.IngestFiles(flightFiles()...); err != nil {
+		t.Fatal(err)
+	}
+	docs := sys.Retrieve("What is the status of CA981?", 3)
+	if len(docs) == 0 {
+		t.Fatal("no documents retrieved")
+	}
+}
+
+func TestAblationConfig(t *testing.T) {
+	// The w/o-MCC configuration must expose the conflicting claim as
+	// unfiltered evidence.
+	sys := Open(Config{DisableGraphLevel: true, DisableNodeLevel: true})
+	if err := sys.IngestFiles(flightFiles()...); err != nil {
+		t.Fatal(err)
+	}
+	ans := sys.Ask("What is the status of CA981?")
+	leak := false
+	for _, ev := range ans.Trusted {
+		if ev.Source == "forum-user" {
+			leak = true
+		}
+	}
+	if !leak {
+		t.Fatal("ablated system must pass the conflicting claim through")
+	}
+}
+
+func TestMultiHopPublicAPI(t *testing.T) {
+	sys := Open(Config{})
+	err := sys.IngestFiles(
+		File{Domain: "wiki", Source: "wiki", Name: "d1", Format: "text",
+			Content: []byte("The director of The Velvet Labyrinth is Rosa Petrov.")},
+		File{Domain: "wiki", Source: "wiki", Name: "d2", Format: "text",
+			Content: []byte("The birthplace of Rosa Petrov is Madrid.")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := sys.Ask("What is the birthplace of the director of The Velvet Labyrinth?")
+	if !ans.Found || len(ans.Values) == 0 || !strings.EqualFold(ans.Values[0], "madrid") {
+		t.Fatalf("multi-hop = %+v", ans)
+	}
+	if ans.Intent != "multi_hop" {
+		t.Fatalf("intent = %q", ans.Intent)
+	}
+}
