@@ -1,0 +1,27 @@
+GO ?= go
+BENCH_SCALE ?= 0.12
+
+.PHONY: check vet build test race bench clean
+
+# check is the CI entry point: static analysis, full build, race-enabled tests.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates the paper tables/figures at a reduced scale and records
+# per-job wall-clock timings for the perf trajectory.
+bench:
+	$(GO) run ./cmd/benchtables -scale $(BENCH_SCALE) -json BENCH_core.json
+
+clean:
+	rm -f BENCH_core.json

@@ -7,7 +7,9 @@ package multirag
 // calls out, and micro-benchmarks for the core data structures.
 
 import (
+	"fmt"
 	"io"
+	"sync/atomic"
 	"testing"
 
 	"multirag/internal/adapter"
@@ -265,5 +267,101 @@ func BenchmarkEndToEndQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Query(d.Queries[i%len(d.Queries)].Text)
+	}
+}
+
+// --- Concurrent serving / incremental ingestion benchmarks ---
+
+// BenchmarkAskParallel measures query throughput under snapshot-isolated
+// concurrent serving: every goroutine reads the atomically published
+// snapshot with no coordination on the hot path.
+func BenchmarkAskParallel(b *testing.B) {
+	d := benchCorpus(b)
+	s := newBenchSystem(b, core.Config{}, d.Files)
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(ctr.Add(1))
+			s.Query(d.Queries[i%len(d.Queries)].Text)
+		}
+	})
+}
+
+// repeatedIngestBatches pre-renders small per-batch corpora so the benchmark
+// loop measures ingestion, not dataset generation.
+func repeatedIngestBatches(n int) [][]adapter.RawFile {
+	batches := make([][]adapter.RawFile, n)
+	for i := range batches {
+		batches[i] = []adapter.RawFile{{
+			Domain: "fleet", Source: fmt.Sprintf("src-%03d", i), Name: "feed", Format: "csv",
+			Content: []byte(fmt.Sprintf(
+				"flight,status,gate\nCA%03d,Delayed,A1\nMU%03d,On time,B2\nQF%03d,Boarding,C3\n",
+				i%40, i%40, i%40)),
+		}}
+	}
+	return batches
+}
+
+// BenchmarkRepeatedIngest contrasts incremental line-graph maintenance
+// (BuildDelta over the batch's new triples) against a full linegraph.Build
+// per batch. One op = ingesting 64 successive batches into a fresh system,
+// so the full-rebuild variant pays the quadratic blow-up the delta path
+// avoids.
+func BenchmarkRepeatedIngest(b *testing.B) {
+	batches := repeatedIngestBatches(64)
+	for _, variant := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"incremental", core.Config{}},
+		{"full-rebuild", core.Config{DisableIncrementalSG: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewSystem(variant.cfg)
+				for _, batch := range batches {
+					if _, err := s.Ingest(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLineGraphBuildDelta isolates the data-structure cost: applying a
+// one-triple delta versus rebuilding the whole SG.
+func BenchmarkLineGraphBuildDelta(b *testing.B) {
+	g := benchGraph(b)
+	sg := linegraph.Build(g)
+	g.AddEntity("CA981", "Flight", "flights")
+	id, err := g.AddTriple(kg.Triple{
+		Subject: kg.CanonicalID("CA981"), Predicate: "status", Object: "Delayed",
+		Source: "bench", Weight: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	delta := []string{id}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linegraph.BuildDelta(sg, g, delta)
+	}
+}
+
+// BenchmarkIngestWorkers sweeps the ingestion pool size over one multi-file
+// corpus (the Figure-6-style scaling axis for the write path).
+func BenchmarkIngestWorkers(b *testing.B) {
+	d := benchCorpus(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewSystem(core.Config{Workers: workers})
+				if _, err := s.Ingest(d.Files); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

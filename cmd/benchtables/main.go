@@ -7,9 +7,11 @@
 //	benchtables -figure 5       # one figure (5..7)
 //	benchtables -scale 0.2      # quick run at 20% workload
 //	benchtables -seed 7         # different generation seed
+//	benchtables -json BENCH_core.json   # also write per-job wall times as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate only this figure (5-7)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (entities and queries)")
 	seed := flag.Uint64("seed", 1, "dataset / model seed")
+	jsonOut := flag.String("json", "", "write per-job wall-clock timings to this JSON file")
 	flag.Parse()
 
 	opts := bench.Options{Seed: *seed, Scale: *scale, Out: os.Stdout}
@@ -74,12 +77,36 @@ func main() {
 		add("Figure 6", bench.Figure6)
 		add("Figure 7", bench.Figure7)
 	}
+	type timing struct {
+		Name    string  `json:"name"`
+		Seconds float64 `json:"seconds"`
+	}
+	report := struct {
+		Seed    uint64   `json:"seed"`
+		Scale   float64  `json:"scale"`
+		Jobs    []timing `json:"jobs"`
+		Seconds float64  `json:"total_seconds"`
+	}{Seed: *seed, Scale: *scale}
 	for _, j := range jobs {
 		start := time.Now()
 		if err := j.run(opts); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", j.name, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stdout, "\n[%s regenerated in %v]\n\n", j.name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		report.Jobs = append(report.Jobs, timing{Name: j.name, Seconds: elapsed.Seconds()})
+		report.Seconds += elapsed.Seconds()
+		fmt.Fprintf(os.Stdout, "\n[%s regenerated in %v]\n\n", j.name, elapsed.Round(time.Millisecond))
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: marshal timings: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
 	}
 }

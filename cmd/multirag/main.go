@@ -31,12 +31,13 @@ func main() {
 		stats   = flag.Bool("stats", false, "print corpus statistics")
 		explain = flag.Bool("explain", false, "show trusted evidence and confidence detail")
 		seed    = flag.Uint64("seed", 1, "simulated model seed")
+		workers = flag.Int("workers", 0, "ingestion worker pool size (0 = GOMAXPROCS)")
 		k       = flag.Int("k", 5, "documents to retrieve with -retrieve")
 		retr    = flag.String("retrieve", "", "retrieve supporting documents for a query")
 	)
 	flag.Parse()
 
-	sys := multirag.Open(multirag.Config{Seed: *seed})
+	sys := multirag.Open(multirag.Config{Seed: *seed, Workers: *workers})
 
 	if *demo {
 		if err := sys.IngestFiles(demoFiles()...); err != nil {

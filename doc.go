@@ -22,6 +22,12 @@
 //	ans := sys.Ask("What is the status of CA981?")
 //	fmt.Println(ans.Values) // [Delayed]
 //
+// A System serves concurrently: queries evaluate against immutable,
+// atomically swapped snapshots while ingestion batches commit on a parallel
+// write path with incremental line-graph maintenance, so Ask scales across
+// goroutines and IngestFiles never blocks readers. See DESIGN.md for the
+// snapshot/delta architecture.
+//
 // The public API wraps the internal modules: adapters (internal/adapter),
 // the DSM columnar store (internal/dsm), JSON-LD normalisation
 // (internal/jsonld), knowledge-graph storage (internal/kg), the line-graph

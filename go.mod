@@ -1,0 +1,3 @@
+module multirag
+
+go 1.24

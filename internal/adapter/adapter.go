@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"multirag/internal/jsonld"
+	"multirag/internal/par"
 )
 
 // RawFile is one ingested data file before adaptation.
@@ -66,22 +67,42 @@ func (r *Registry) Lookup(format string) (Adapter, bool) {
 // by (domain, source, name). An unknown format is an error — silent data loss
 // during fusion would invalidate every downstream confidence estimate.
 func (r *Registry) Fuse(files []RawFile) ([]*jsonld.Normalized, error) {
-	out := make([]*jsonld.Normalized, 0, len(files))
-	for _, f := range files {
+	return r.FuseParallel(files, 1)
+}
+
+// FuseParallel is Fuse with per-file adaptation fanned out across a bounded
+// worker pool (workers == 1 runs inline, <= 0 selects GOMAXPROCS). Adapters
+// are stateless, so parsing
+// different files concurrently is safe; output ordering and error selection
+// (first failing file in input order) are identical to the serial path.
+func (r *Registry) FuseParallel(files []RawFile, workers int) ([]*jsonld.Normalized, error) {
+	out := make([]*jsonld.Normalized, len(files))
+	errs := make([]error, len(files))
+	adapt := func(i int) {
+		f := files[i]
 		a, ok := r.adapters[f.Format]
 		if !ok {
-			return nil, fmt.Errorf("adapter: no adapter registered for format %q (file %s/%s/%s)",
+			errs[i] = fmt.Errorf("adapter: no adapter registered for format %q (file %s/%s/%s)",
 				f.Format, f.Domain, f.Source, f.Name)
+			return
 		}
 		n, err := a.Parse(f)
 		if err != nil {
-			return nil, fmt.Errorf("adapter: %s file %s/%s/%s: %w", f.Format, f.Domain, f.Source, f.Name, err)
+			errs[i] = fmt.Errorf("adapter: %s file %s/%s/%s: %w", f.Format, f.Domain, f.Source, f.Name, err)
+			return
 		}
 		if err := n.Validate(); err != nil {
-			return nil, fmt.Errorf("adapter: %s file %s/%s/%s produced invalid output: %w",
+			errs[i] = fmt.Errorf("adapter: %s file %s/%s/%s produced invalid output: %w",
 				f.Format, f.Domain, f.Source, f.Name, err)
+			return
 		}
-		out = append(out, n)
+		out[i] = n
+	}
+	par.ForEach(workers, len(files), adapt)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Domain != out[j].Domain {

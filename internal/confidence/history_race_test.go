@@ -1,0 +1,90 @@
+package confidence
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestHistoryStoreConcurrentUpdates hammers the mutex-guarded history store
+// from many goroutines (run with -race) and checks the incremental
+// estimation arithmetic is exact: Update is commutative, so the final
+// Prh(D) must equal the closed form regardless of interleaving.
+func TestHistoryStoreConcurrentUpdates(t *testing.T) {
+	const goroutines = 16
+	const iters = 50
+
+	hs := NewHistoryStore()
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for gr := 0; gr < goroutines; gr++ {
+		go func(gr int) {
+			defer wg.Done()
+			src := fmt.Sprintf("src-%d", gr%4)
+			for i := 0; i < iters; i++ {
+				hs.Update(src, 2, 1)
+				hs.Prh(src)
+				hs.Historical(src, []float64{0.8}, 3, 0.5)
+				hs.Scans()
+			}
+		}(gr)
+	}
+	wg.Wait()
+
+	// Each of the 4 sources received (goroutines/4)*iters updates of
+	// (provided=2, accepted=1) on top of the H0=50, Prh0=0.5 prior:
+	// Prh = (50*0.5 + n) / (50 + 2n).
+	n := float64(goroutines / 4 * iters)
+	want := (25 + n) / (50 + 2*n)
+	for i := 0; i < 4; i++ {
+		src := fmt.Sprintf("src-%d", i)
+		if got := hs.Prh(src); got != want {
+			t.Fatalf("Prh(%s) = %v, want %v (updates lost under contention)", src, got, want)
+		}
+	}
+	if hs.Scans() == 0 {
+		t.Fatal("validation scans not accounted")
+	}
+	hs.ResetScans()
+	if hs.Scans() != 0 {
+		t.Fatal("ResetScans failed")
+	}
+}
+
+// TestHistoryStoreConcurrentReaders checks read paths stay in range while a
+// writer churns the same source.
+func TestHistoryStoreConcurrentReaders(t *testing.T) {
+	hs := NewHistoryStore()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			hs.Update("feed", 3, 2)
+		}
+		close(done)
+	}()
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if p := hs.Prh("feed"); p < 0 || p > 1 {
+					t.Errorf("Prh out of range: %v", p)
+					return
+				}
+				if a := hs.Historical("feed", []float64{0.9}, 2, 1); a < 0 || a > 1 {
+					t.Errorf("Historical out of range: %v", a)
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -136,8 +136,10 @@ func (m *MCC) Run(sg *linegraph.SG, candidates []*linegraph.HomologousNode, opts
 	cands := make([]cand, 0, len(candidates))
 	anyAbove := false
 	for _, n := range candidates {
+		// C(G) is reported through the Assessment, never written back to the
+		// node: homologous nodes are shared across serving snapshots and must
+		// stay immutable under concurrent queries.
 		gc := m.graphConfidence(sg, n)
-		n.Confidence = gc
 		if gc >= m.cfg.GraphThreshold {
 			anyAbove = true
 		}

@@ -36,28 +36,35 @@ type Answer struct {
 	Found bool
 }
 
-// Query executes MKLGP (Algorithm 2) for a natural-language query.
+// Query executes MKLGP (Algorithm 2) for a natural-language query. It is
+// safe for unbounded concurrent use: the whole evaluation runs against one
+// immutable snapshot loaded up front, so in-flight ingestion never changes
+// the view mid-query.
 func (s *System) Query(q string) Answer {
+	return s.queryOn(s.snap.Load(), q)
+}
+
+func (s *System) queryOn(sn *snapshot, q string) Answer {
 	lf := s.model.ParseQuery(q) // line 2: logic form generation
 	ans := Answer{Query: q, LogicForm: lf}
 	switch lf.Intent {
 	case "multi_hop":
-		s.answerMultiHop(&ans)
+		s.answerMultiHop(sn, &ans)
 	case "comparison":
-		s.answerComparison(&ans)
+		s.answerComparison(sn, &ans)
 	default:
 		if len(lf.Entities) > 0 && len(lf.Relations) > 0 {
-			s.answerLookup(&ans, lf.Entities[0], lf.Relations[0])
+			s.answerLookup(sn, &ans, lf.Entities[0], lf.Relations[0])
 		} else {
-			s.answerFallback(&ans, q)
+			s.answerFallback(sn, &ans, q)
 		}
 	}
 	return ans
 }
 
 // answerLookup resolves a single (entity, attribute) question.
-func (s *System) answerLookup(ans *Answer, entity, relation string) {
-	ev, trusted, rejected, gcs, stages := s.gatherEvidence(ans.Query, entity, relation)
+func (s *System) answerLookup(sn *snapshot, ans *Answer, entity, relation string) {
+	ev, trusted, rejected, gcs, stages := s.gatherEvidence(sn, ans.Query, entity, relation)
 	ans.Trusted = trusted
 	ans.RejectedCount = rejected
 	ans.GraphConfidences = gcs
@@ -73,20 +80,20 @@ func (s *System) answerLookup(ans *Answer, entity, relation string) {
 // weighted evidence for (entity, relation) along with the filtering
 // diagnostics. With MKA it is a homologous line-graph lookup plus MCC; w/o
 // MKA it degrades to chunk retrieval with per-query LLM extraction.
-func (s *System) gatherEvidence(query, entity, relation string) (ev []llm.Evidence, trusted []confidence.TrustedNode, rejected int, gcs []float64, stages []StageSnapshot) {
-	if s.cfg.DisableMKA || s.sg == nil {
-		return s.gatherByChunks(query, entity, relation)
+func (s *System) gatherEvidence(sn *snapshot, query, entity, relation string) (ev []llm.Evidence, trusted []confidence.TrustedNode, rejected int, gcs []float64, stages []StageSnapshot) {
+	if s.cfg.DisableMKA || sn.sg == nil {
+		return s.gatherByChunks(sn, query, entity, relation)
 	}
 	subj := kg.CanonicalID(s.model.Standardize(entity))
 	var candidates []*linegraph.HomologousNode
-	if n, ok := s.sg.Lookup(subj, relation); ok {
+	if n, ok := sn.sg.Lookup(subj, relation); ok {
 		candidates = append(candidates, n)
 	}
 	// Nested attributes flatten to underscore-joined paths
 	// (status → status_state); include them as alternative candidates.
-	for key, n := range s.sg.Nodes {
+	for key, n := range sn.sg.Nodes {
 		if n.SubjectID == subj && n.Name != relation && strings.HasPrefix(n.Name, relation+"_") {
-			candidates = append(candidates, s.sg.Nodes[key])
+			candidates = append(candidates, sn.sg.Nodes[key])
 		}
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Key < candidates[j].Key })
@@ -94,17 +101,17 @@ func (s *System) gatherEvidence(query, entity, relation string) (ev []llm.Eviden
 	// Stage 1 snapshot: everything the candidate subgraphs contain.
 	var stage1 []string
 	for _, n := range candidates {
-		for _, t := range s.sg.MemberTriples(n) {
+		for _, t := range sn.sg.MemberTriples(n) {
 			stage1 = append(stage1, t.Object)
 		}
 	}
 	if len(candidates) > 0 {
-		res := s.mcc.Run(s.sg, candidates, s.cfg.Ablation)
+		res := s.mcc.Run(sn.sg, candidates, s.cfg.Ablation)
 		var stage2 []string
 		for _, a := range res.Assessments {
 			gcs = append(gcs, a.GraphConfidence)
 			if !a.EliminatedByGraph {
-				for _, t := range s.sg.MemberTriples(a.Node) {
+				for _, t := range sn.sg.MemberTriples(a.Node) {
 					stage2 = append(stage2, t.Object)
 				}
 			}
@@ -124,8 +131,8 @@ func (s *System) gatherEvidence(query, entity, relation string) (ev []llm.Eviden
 		return
 	}
 	// No homologous group: try the isolated points.
-	if t, ok := s.sg.LookupIsolated(subj, relation); ok {
-		tn := s.mcc.AssessIsolated(s.sg, t, s.cfg.Ablation)
+	if t, ok := sn.sg.LookupIsolated(subj, relation); ok {
+		tn := s.mcc.AssessIsolated(sn.sg, t, s.cfg.Ablation)
 		trusted = append(trusted, tn)
 		ev = append(ev, llm.Evidence{Value: t.Object, Weight: tn.Confidence, Source: t.Source, Verified: tn.Verified})
 		vals := []string{t.Object}
@@ -137,7 +144,7 @@ func (s *System) gatherEvidence(query, entity, relation string) (ev []llm.Eviden
 		return
 	}
 	// Entity or attribute absent from the graph: degrade to chunk retrieval.
-	return s.gatherByChunks(query, entity, relation)
+	return s.gatherByChunks(sn, query, entity, relation)
 }
 
 // gatherByChunks is the non-aggregated retrieval path: top-k chunk search,
@@ -146,9 +153,9 @@ func (s *System) gatherEvidence(query, entity, relation string) (ev []llm.Eviden
 // ablated). This is both slower (per-query LLM extraction) and lossier
 // (top-k misses sparse evidence) than the line-graph path — the Table III
 // "w/o MKA" behaviour.
-func (s *System) gatherByChunks(query, entity, relation string) (ev []llm.Evidence, trusted []confidence.TrustedNode, rejected int, gcs []float64, stages []StageSnapshot) {
+func (s *System) gatherByChunks(sn *snapshot, query, entity, relation string) (ev []llm.Evidence, trusted []confidence.TrustedNode, rejected int, gcs []float64, stages []StageSnapshot) {
 	k := s.cfg.RetrievalK * 4
-	hits := s.index.Search(query, k)
+	hits := sn.index.Search(query, k)
 	subj := kg.CanonicalID(s.model.Standardize(entity))
 	// Per-query extraction over retrieved chunks.
 	tmp := kg.New()
@@ -209,16 +216,16 @@ func (s *System) gatherByChunks(query, entity, relation string) (ev []llm.Eviden
 }
 
 // answerMultiHop resolves bridge questions: entity —rel₁→ bridge —rel₂→ ans.
-func (s *System) answerMultiHop(ans *Answer) {
+func (s *System) answerMultiHop(sn *snapshot, ans *Answer) {
 	lf := ans.LogicForm
 	if len(lf.Entities) == 0 || len(lf.Relations) < 2 {
-		s.answerFallback(ans, ans.Query)
+		s.answerFallback(sn, ans, ans.Query)
 		return
 	}
 	entity, rel1, rel2 := lf.Entities[0], lf.Relations[0], lf.Relations[1]
 	// Hop 1: find the bridge entity.
 	hop1Q := "What is the " + strings.ReplaceAll(rel1, "_", " ") + " of " + entity + "?"
-	ev1, trusted1, rej1, gcs1, _ := s.gatherEvidence(hop1Q, entity, rel1)
+	ev1, trusted1, rej1, gcs1, _ := s.gatherEvidence(sn, hop1Q, entity, rel1)
 	ans.Trusted = append(ans.Trusted, trusted1...)
 	ans.RejectedCount += rej1
 	ans.GraphConfidences = append(ans.GraphConfidences, gcs1...)
@@ -231,7 +238,7 @@ func (s *System) answerMultiHop(ans *Answer) {
 	var ev2 []llm.Evidence
 	for _, bridge := range bridges {
 		hop2Q := "What is the " + strings.ReplaceAll(rel2, "_", " ") + " of " + bridge + "?"
-		ev, trusted2, rej2, gcs2, _ := s.gatherEvidence(hop2Q, bridge, rel2)
+		ev, trusted2, rej2, gcs2, _ := s.gatherEvidence(sn, hop2Q, bridge, rel2)
 		ans.Trusted = append(ans.Trusted, trusted2...)
 		ans.RejectedCount += rej2
 		ans.GraphConfidences = append(ans.GraphConfidences, gcs2...)
@@ -245,16 +252,16 @@ func (s *System) answerMultiHop(ans *Answer) {
 }
 
 // answerComparison resolves "do X and Y have the same attr?" questions.
-func (s *System) answerComparison(ans *Answer) {
+func (s *System) answerComparison(sn *snapshot, ans *Answer) {
 	lf := ans.LogicForm
 	if len(lf.Entities) < 2 || len(lf.Relations) == 0 {
-		s.answerFallback(ans, ans.Query)
+		s.answerFallback(sn, ans, ans.Query)
 		return
 	}
 	rel := lf.Relations[0]
 	resolve := func(entity string) []string {
 		q := "What is the " + strings.ReplaceAll(rel, "_", " ") + " of " + entity + "?"
-		ev, trusted, rej, gcs, _ := s.gatherEvidence(q, entity, rel)
+		ev, trusted, rej, gcs, _ := s.gatherEvidence(sn, q, entity, rel)
 		ans.Trusted = append(ans.Trusted, trusted...)
 		ans.RejectedCount += rej
 		ans.GraphConfidences = append(ans.GraphConfidences, gcs...)
@@ -287,8 +294,8 @@ func (s *System) answerComparison(ans *Answer) {
 }
 
 // answerFallback handles unparsed queries via pure chunk retrieval.
-func (s *System) answerFallback(ans *Answer, q string) {
-	hits := s.index.Search(q, s.cfg.RetrievalK)
+func (s *System) answerFallback(sn *snapshot, ans *Answer, q string) {
+	hits := sn.index.Search(q, s.cfg.RetrievalK)
 	var ev []llm.Evidence
 	for _, h := range hits {
 		ev = append(ev, llm.Evidence{Value: h.Chunk.Text, Weight: h.Score, Source: h.Chunk.Source})
@@ -310,9 +317,12 @@ func (s *System) RetrieveDocs(q string, k int) []string {
 
 // QueryWithDocs runs the query once and returns both the answer and the
 // ranked supporting documents (avoiding the double evaluation RetrieveDocs
-// would otherwise incur in benchmarks).
+// would otherwise incur in benchmarks). Answer and document ranking are
+// computed over the same snapshot, so the two are mutually consistent even
+// under concurrent ingestion.
 func (s *System) QueryWithDocs(q string, k int) (Answer, []string) {
-	ans := s.Query(q)
+	sn := s.snap.Load()
+	ans := s.queryOn(sn, q)
 	var ranked []string
 	seen := map[string]bool{}
 	// Trusted triples first, in confidence order.
@@ -327,7 +337,7 @@ func (s *System) QueryWithDocs(q string, k int) (Answer, []string) {
 		}
 	}
 	// Fill with dense hits.
-	for _, h := range s.index.Search(q, k*2) {
+	for _, h := range sn.index.Search(q, k*2) {
 		doc := docOfChunk(h.Chunk.DocID)
 		if doc != "" && !seen[doc] {
 			seen[doc] = true

@@ -7,7 +7,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"multirag/internal/adapter"
@@ -17,6 +20,7 @@ import (
 	"multirag/internal/kg"
 	"multirag/internal/linegraph"
 	"multirag/internal/llm"
+	"multirag/internal/par"
 	"multirag/internal/retrieval"
 )
 
@@ -38,19 +42,49 @@ type Config struct {
 	// RetrievalK is how many chunks the fallback / multi-hop retriever
 	// fetches (default 5, matching Recall@5).
 	RetrievalK int
+	// Workers bounds the ingestion worker pool (adapter parsing, per-file
+	// extraction, chunk embedding). 0 selects GOMAXPROCS.
+	Workers int
+	// DisableIncrementalSG forces a full linegraph.Build on every Ingest
+	// instead of applying the batch delta to the previous SG. It exists to
+	// A/B-benchmark the incremental maintenance path; leave it off in
+	// production.
+	DisableIncrementalSG bool
 }
 
-// System is an assembled MultiRAG deployment over one corpus.
-type System struct {
-	cfg       Config
-	model     *llm.Sim
-	graph     *kg.Graph
-	sg        *linegraph.SG
-	mcc       *confidence.MCC
-	index     *retrieval.Index
-	registry  *adapter.Registry
-	extractor *extract.Extractor
+// snapshot is one immutable serving state: the knowledge graph, its
+// homologous line graph and the chunk index, frozen at an ingest boundary.
+// The write path builds the next snapshot aside (cloned graph, clipped index,
+// delta-maintained SG) and publishes it with a single atomic pointer swap, so
+// any number of query goroutines read a consistent view while ingestion
+// proceeds — the read-path/write-path split of production retrieval stores.
+type snapshot struct {
+	graph *kg.Graph
+	sg    *linegraph.SG
+	index *retrieval.Index
+}
 
+// System is an assembled MultiRAG deployment over one corpus. Queries are
+// safe for unbounded concurrency; Ingest and RebuildSG are serialised
+// internally and may run concurrently with queries.
+type System struct {
+	cfg      Config
+	model    *llm.Sim
+	mcc      *confidence.MCC
+	registry *adapter.Registry
+	// ingestModel is a second deterministic Sim (same config, same seed)
+	// backing the extractor, so the preprocessing LLM-cost accounting
+	// (BuildCost) cannot be polluted by query traffic hitting the serving
+	// model concurrently. Same seed means identical extraction output.
+	ingestModel *llm.Sim
+	extractor   *extract.Extractor
+
+	// snap is the atomically published serving snapshot. Query loads it once
+	// and runs entirely against that immutable view.
+	snap atomic.Pointer[snapshot]
+
+	// mu serialises the write path and guards the build-cost counters.
+	mu sync.Mutex
 	// Preprocessing cost (PT in Table III): real build time plus the LLM
 	// latency spent during ingestion.
 	buildReal time.Duration
@@ -72,36 +106,69 @@ func NewSystem(cfg Config) *System {
 		cfg.RetrievalK = 5
 	}
 	model := llm.NewSim(cfg.LLM)
-	return &System{
-		cfg:       cfg,
-		model:     model,
-		graph:     kg.New(),
-		mcc:       confidence.New(cfg.MCC, model, confidence.NewHistoryStore()),
-		index:     retrieval.NewIndex(retrieval.DefaultDim),
-		registry:  adapter.NewRegistry(),
-		extractor: extract.New(model),
+	ingestModel := llm.NewSim(cfg.LLM)
+	s := &System{
+		cfg:         cfg,
+		model:       model,
+		mcc:         confidence.New(cfg.MCC, model, confidence.NewHistoryStore()),
+		registry:    adapter.NewRegistry(),
+		ingestModel: ingestModel,
+		extractor:   extract.New(ingestModel),
 	}
+	s.snap.Store(&snapshot{
+		graph: kg.New(),
+		index: retrieval.NewIndex(retrieval.DefaultDim),
+	})
+	return s
 }
 
-// Model exposes the underlying simulated LLM (for usage accounting).
+// Workers resolves the configured pool size (Config.Workers, defaulting to
+// GOMAXPROCS).
+func (s *System) Workers() int {
+	if s.cfg.Workers > 0 {
+		return s.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Parallel runs fn(i) for i in [0, n) across at most workers goroutines
+// (workers <= 0 selects GOMAXPROCS) — the bounded fan-out primitive the
+// engine uses for ingestion stages and batched query serving.
+func Parallel(workers, n int, fn func(int)) { par.ForEach(workers, n, fn) }
+
+// Model exposes the serving-side simulated LLM (query-time usage
+// accounting). Ingestion-time extraction runs on a separate same-seed model
+// whose cost surfaces through BuildCost.
 func (s *System) Model() *llm.Sim { return s.model }
 
-// Graph exposes the knowledge graph (perturbation experiments mutate it and
-// then call RebuildSG).
-func (s *System) Graph() *kg.Graph { return s.graph }
+// Graph exposes the current snapshot's knowledge graph. The perturbation
+// harness mutates it in place and then calls RebuildSG; that pattern requires
+// the caller to guarantee no concurrent queries (the experiment harnesses are
+// single-threaded). Concurrent readers should treat the result as frozen.
+func (s *System) Graph() *kg.Graph { return s.snap.Load().graph }
 
-// SG exposes the homologous line graph (nil when MKA is disabled).
-func (s *System) SG() *linegraph.SG { return s.sg }
+// SG exposes the current homologous line graph (nil when MKA is disabled).
+func (s *System) SG() *linegraph.SG { return s.snap.Load().sg }
 
 // MCC exposes the confidence engine.
 func (s *System) MCC() *confidence.MCC { return s.mcc }
 
-// Index exposes the retrieval index.
-func (s *System) Index() *retrieval.Index { return s.index }
+// Index exposes the current retrieval index.
+func (s *System) Index() *retrieval.Index { return s.snap.Load().index }
+
+// Serving returns the components of one published snapshot, so callers can
+// derive mutually consistent statistics under concurrent ingestion (separate
+// Graph()/SG()/Index() calls may straddle a snapshot swap).
+func (s *System) Serving() (*kg.Graph, *linegraph.SG, *retrieval.Index) {
+	sn := s.snap.Load()
+	return sn.graph, sn.sg, sn.index
+}
 
 // BuildCost returns the preprocessing cost (PT): real build time and the LLM
 // latency charged during ingestion.
 func (s *System) BuildCost() (real, llmLatency time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.buildReal, s.buildLLM
 }
 
@@ -112,44 +179,119 @@ type IngestReport struct {
 	Chunks     int
 }
 
+// fileWork is the per-file output of the parallel ingestion stage.
+type fileWork struct {
+	rec    *extract.Recorder
+	report extract.Report
+	chunks []retrieval.Chunk
+	vecs   []retrieval.Vector
+	err    error
+}
+
 // Ingest fuses, extracts and indexes the given files, then (unless MKA is
-// disabled) builds the homologous line graph. It can be called repeatedly;
-// the line graph is rebuilt over the full corpus each time.
+// disabled) brings the homologous line graph up to date. It can be called
+// repeatedly and concurrently with queries.
+//
+// The pipeline has two phases. The fan-out phase runs per-file work on a
+// bounded pool: format adaptation, knowledge extraction (into a private
+// operation recorder — this is where the LLM calls happen) and chunk
+// rendering plus embedding. The commit phase, serialised by the write lock,
+// clones the current graph, replays the recorded operation streams in file
+// order (bit-identical to single-threaded extraction), batch-appends the
+// pre-embedded chunks, applies the new-triple delta to the previous SG
+// instead of rebuilding it from the whole corpus, and atomically publishes
+// the new snapshot. A failed batch publishes nothing.
+//
+// Concurrent Ingest calls are serialised for the whole call, fan-out phase
+// included: commit order equals arrival order and the preprocessing-cost
+// accounting stays exact. Queries never block either way.
 func (s *System) Ingest(files []adapter.RawFile) (IngestReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var rep IngestReport
 	start := time.Now()
-	llmBefore := s.model.VirtualLatency()
-	fused, err := s.registry.Fuse(files)
+	llmBefore := s.ingestModel.VirtualLatency()
+	workers := s.Workers()
+	fused, err := s.registry.FuseParallel(files, workers)
 	if err != nil {
 		return rep, err
 	}
-	rep.Extraction, err = s.extractor.Build(s.graph, fused)
-	if err != nil {
-		return rep, err
+
+	dim := s.snap.Load().index.Dim()
+	work := make([]fileWork, len(fused))
+	Parallel(workers, len(fused), func(i int) {
+		w := &work[i]
+		w.rec = extract.NewRecorder()
+		w.report, w.err = s.extractor.BuildFile(w.rec, fused[i])
+		if w.err != nil {
+			return
+		}
+		w.chunks = RenderChunks(fused[i], s.cfg.ChunkTokens)
+		w.vecs = make([]retrieval.Vector, len(w.chunks))
+		for j, c := range w.chunks {
+			w.vecs[j] = retrieval.Embed(c.Text, dim)
+		}
+	})
+	rep.Extraction = extract.Report{ByFormat: map[string]int{}}
+	for i := range work {
+		if work[i].err != nil {
+			return rep, work[i].err
+		}
 	}
-	for _, n := range fused {
-		for _, chunk := range RenderChunks(n, s.cfg.ChunkTokens) {
-			s.index.Add(chunk)
+
+	cur := s.snap.Load()
+	g := cur.graph.Clone()
+	entBefore, triBefore := g.NumEntities(), g.NumTriples()
+	ix := cur.index.CloneForAppend()
+	var newIDs []string
+	for i := range work {
+		ids, err := work[i].rec.Replay(g)
+		if err != nil {
+			return rep, err
+		}
+		newIDs = append(newIDs, ids...)
+		rep.Extraction.Merge(work[i].report)
+		for j, c := range work[i].chunks {
+			ix.AddEmbedded(c, work[i].vecs[j])
 			rep.Chunks++
 		}
 	}
+	rep.Extraction.Entities = g.NumEntities() - entBefore
+	rep.Extraction.Triples = g.NumTriples() - triBefore
+
+	next := &snapshot{graph: g, index: ix}
 	if !s.cfg.DisableMKA {
-		s.sg = linegraph.Build(s.graph)
-		rep.Homologous = s.sg.ComputeStats()
+		if s.cfg.DisableIncrementalSG {
+			next.sg = linegraph.Build(g)
+		} else {
+			next.sg = linegraph.BuildDelta(cur.sg, g, newIDs)
+		}
+		rep.Homologous = next.sg.ComputeStats()
 	}
+	s.snap.Store(next)
 	s.buildReal += time.Since(start)
-	s.buildLLM += s.model.VirtualLatency() - llmBefore
+	s.buildLLM += s.ingestModel.VirtualLatency() - llmBefore
 	return rep, nil
 }
 
-// RebuildSG reconstructs the homologous line graph after external graph
-// mutation (perturbation experiments).
+// RebuildSG reconstructs the homologous line graph from scratch after
+// external graph mutation (perturbation experiments remove or rewrite
+// triples, which the incremental delta cannot express) and publishes the
+// result as a new snapshot.
 func (s *System) RebuildSG() {
-	if !s.cfg.DisableMKA {
-		start := time.Now()
-		s.sg = linegraph.Build(s.graph)
-		s.buildReal += time.Since(start)
+	if s.cfg.DisableMKA {
+		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	cur := s.snap.Load()
+	s.snap.Store(&snapshot{
+		graph: cur.graph,
+		sg:    linegraph.Build(cur.graph),
+		index: cur.index,
+	})
+	s.buildReal += time.Since(start)
 }
 
 // RenderChunks converts a normalised file into retrievable chunks. Text

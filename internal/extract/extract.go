@@ -63,33 +63,71 @@ type Report struct {
 	SkippedNo int            // records skipped because no entity key was found
 }
 
+// Merge folds another report's counters into rep (batch ingestion aggregates
+// per-file reports).
+func (rep *Report) Merge(other Report) {
+	rep.Files += other.Files
+	rep.Entities += other.Entities
+	rep.Triples += other.Triples
+	rep.SkippedNo += other.SkippedNo
+	for k, v := range other.ByFormat {
+		rep.ByFormat[k] += v
+	}
+}
+
+// Sink receives extraction output. *kg.Graph is the canonical implementation;
+// *Recorder captures the same operation stream for deferred, deterministic
+// replay so that the expensive extraction work (LLM calls, parsing,
+// flattening) can run on worker goroutines without sharing the graph.
+type Sink interface {
+	AddEntity(name, typ, domain string) string
+	AddTriple(t kg.Triple) (string, error)
+	NumEntities() int
+	NumTriples() int
+}
+
 // Build extracts all files into g and returns a report. Files are processed
 // in the deterministic order produced by adapter.Fuse.
-func (e *Extractor) Build(g *kg.Graph, files []*jsonld.Normalized) (Report, error) {
+func (e *Extractor) Build(g Sink, files []*jsonld.Normalized) (Report, error) {
 	rep := Report{ByFormat: map[string]int{}}
 	before := g.NumTriples()
 	entBefore := g.NumEntities()
 	for _, f := range files {
-		var err error
-		switch f.Format {
-		case "csv":
-			err = e.buildStructured(g, f, &rep)
-		case "json", "xml":
-			err = e.buildSemi(g, f, &rep)
-		case "kg":
-			err = e.buildKG(g, f, &rep)
-		case "text":
-			err = e.buildText(g, f, &rep)
-		default:
-			err = fmt.Errorf("extract: unsupported format %q", f.Format)
-		}
+		fileRep, err := e.BuildFile(g, f)
 		if err != nil {
-			return rep, fmt.Errorf("extract: file %s: %w", f.ID, err)
+			return rep, err
 		}
-		rep.Files++
+		rep.Merge(fileRep)
 	}
 	rep.Triples = g.NumTriples() - before
 	rep.Entities = g.NumEntities() - entBefore
+	return rep, nil
+}
+
+// BuildFile extracts a single file into g. It is the per-file unit of work
+// the concurrent ingestion engine fans out across workers (each worker gets
+// its own Recorder sink). The returned report carries the per-format and
+// skip counters; Entities/Triples deltas are left to the caller, which knows
+// the surrounding batch.
+func (e *Extractor) BuildFile(g Sink, f *jsonld.Normalized) (Report, error) {
+	rep := Report{ByFormat: map[string]int{}}
+	var err error
+	switch f.Format {
+	case "csv":
+		err = e.buildStructured(g, f, &rep)
+	case "json", "xml":
+		err = e.buildSemi(g, f, &rep)
+	case "kg":
+		err = e.buildKG(g, f, &rep)
+	case "text":
+		err = e.buildText(g, f, &rep)
+	default:
+		err = fmt.Errorf("extract: unsupported format %q", f.Format)
+	}
+	if err != nil {
+		return rep, fmt.Errorf("extract: file %s: %w", f.ID, err)
+	}
+	rep.Files++
 	return rep, nil
 }
 
@@ -105,7 +143,7 @@ func entityType(f *jsonld.Normalized) string {
 	return strings.ToUpper(f.Domain[:1]) + f.Domain[1:]
 }
 
-func (e *Extractor) addTriple(g *kg.Graph, f *jsonld.Normalized, rep *Report, subjID, pred, obj, chunk string, weight float64) error {
+func (e *Extractor) addTriple(g Sink, f *jsonld.Normalized, rep *Report, subjID, pred, obj, chunk string, weight float64) error {
 	if obj == "" || pred == "" {
 		return nil
 	}
@@ -128,7 +166,7 @@ func (e *Extractor) addTriple(g *kg.Graph, f *jsonld.Normalized, rep *Report, su
 
 // buildStructured maps DSM-backed tabular records: @key names the entity,
 // all other columns are attributes.
-func (e *Extractor) buildStructured(g *kg.Graph, f *jsonld.Normalized, rep *Report) error {
+func (e *Extractor) buildStructured(g Sink, f *jsonld.Normalized, rep *Report) error {
 	typ := entityType(f)
 	for _, doc := range f.JSC {
 		keyVal, ok := doc.Get("@key")
@@ -155,7 +193,7 @@ func (e *Extractor) buildStructured(g *kg.Graph, f *jsonld.Normalized, rep *Repo
 // buildSemi maps nested JSON/XML records. The record's key property names the
 // entity; nested nodes flatten into underscore-joined attribute paths
 // (status.state → status_state).
-func (e *Extractor) buildSemi(g *kg.Graph, f *jsonld.Normalized, rep *Report) error {
+func (e *Extractor) buildSemi(g Sink, f *jsonld.Normalized, rep *Report) error {
 	typ := entityType(f)
 	keyProp := f.Meta["key"]
 	for _, doc := range f.JSC {
@@ -187,7 +225,7 @@ func findKey(doc *jsonld.Document, designated string) string {
 	return ""
 }
 
-func (e *Extractor) flatten(g *kg.Graph, f *jsonld.Normalized, rep *Report, subj string, doc *jsonld.Document, prefix, keyVal string) error {
+func (e *Extractor) flatten(g Sink, f *jsonld.Normalized, rep *Report, subj string, doc *jsonld.Document, prefix, keyVal string) error {
 	for _, prop := range doc.Keys() {
 		v, _ := doc.Get(prop)
 		name := cleanProp(prop)
@@ -224,7 +262,7 @@ func cleanProp(p string) string {
 }
 
 // buildKG maps native triple records directly.
-func (e *Extractor) buildKG(g *kg.Graph, f *jsonld.Normalized, rep *Report) error {
+func (e *Extractor) buildKG(g Sink, f *jsonld.Normalized, rep *Report) error {
 	typ := entityType(f)
 	for _, doc := range f.JSC {
 		s, _ := doc.Get("subject")
@@ -245,7 +283,7 @@ func (e *Extractor) buildKG(g *kg.Graph, f *jsonld.Normalized, rep *Report) erro
 // buildText routes unstructured paragraphs through the LLM pipeline:
 // NER → SPO extraction → standardisation (§III-B's three custom-prompt
 // phases). Extraction confidence becomes the triple weight.
-func (e *Extractor) buildText(g *kg.Graph, f *jsonld.Normalized, rep *Report) error {
+func (e *Extractor) buildText(g Sink, f *jsonld.Normalized, rep *Report) error {
 	typ := entityType(f)
 	for _, doc := range f.JSC {
 		tv, ok := doc.Get("text")

@@ -1,0 +1,88 @@
+package extract
+
+import (
+	"fmt"
+
+	"multirag/internal/kg"
+)
+
+// Recorder is a Sink that captures the extraction operation stream instead of
+// mutating a graph. The concurrent ingestion engine runs one extraction per
+// file on worker goroutines, each writing into a private Recorder; the
+// recorded streams are then replayed into the master graph serially, in file
+// order, under the write lock. Because replay executes exactly the operation
+// sequence serial extraction would have executed — including the interleaving
+// of AddEntity and AddTriple calls that drives object-entity linking — the
+// resulting graph is bit-identical to single-threaded ingestion, while the
+// expensive work (LLM calls, parsing, flattening) happens in parallel.
+type Recorder struct {
+	ops      []op
+	entities map[string]bool // canonical IDs recorded so far (subject check)
+	triples  int
+}
+
+type op struct {
+	// entity op when name != ""
+	name, typ, domain string
+	// triple op otherwise
+	triple kg.Triple
+}
+
+// NewRecorder returns an empty operation recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{entities: map[string]bool{}}
+}
+
+// AddEntity records an entity insertion and returns its canonical ID, exactly
+// as *kg.Graph.AddEntity would.
+func (r *Recorder) AddEntity(name, typ, domain string) string {
+	id := kg.CanonicalID(name)
+	if id == "" {
+		return ""
+	}
+	r.ops = append(r.ops, op{name: name, typ: typ, domain: domain})
+	r.entities[id] = true
+	return id
+}
+
+// AddTriple records a triple insertion. It mirrors *kg.Graph.AddTriple's
+// validation against the entities recorded so far; the definitive insertion
+// (ID assignment, object-entity linking against the full corpus) happens at
+// Replay time. The returned ID is a placeholder — extraction never reads it.
+func (r *Recorder) AddTriple(t kg.Triple) (string, error) {
+	if !r.entities[t.Subject] {
+		return "", fmt.Errorf("kg: unknown subject entity %q", t.Subject)
+	}
+	if t.Predicate == "" {
+		return "", fmt.Errorf("kg: triple with empty predicate (subject %q)", t.Subject)
+	}
+	r.ops = append(r.ops, op{triple: t})
+	r.triples++
+	return "", nil
+}
+
+// NumEntities reports the recorded entity-op count (Sink conformance; batch
+// reports recompute real deltas against the master graph).
+func (r *Recorder) NumEntities() int { return len(r.entities) }
+
+// NumTriples reports the recorded triple count.
+func (r *Recorder) NumTriples() int { return r.triples }
+
+// Replay applies the recorded operation stream to g in recording order and
+// returns the IDs of the triples inserted. Replay is cheap (map inserts); all
+// model-driven work already happened while recording.
+func (r *Recorder) Replay(g *kg.Graph) ([]string, error) {
+	ids := make([]string, 0, r.triples)
+	for _, o := range r.ops {
+		if o.name != "" {
+			g.AddEntity(o.name, o.typ, o.domain)
+			continue
+		}
+		id, err := g.AddTriple(o.triple)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

@@ -149,6 +149,44 @@ func removeID(ids []string, id string) []string {
 	return ids
 }
 
+// Clone returns a deep copy of the graph: entities, triples and every
+// adjacency index are copied, so mutating the clone (or the original) never
+// affects the other. The triple counter carries over, keeping triple IDs
+// unique and monotone across clone generations — the property the
+// incremental line-graph maintenance relies on. The write path of the
+// serving engine clones the current graph before applying a batch, leaving
+// published snapshots immutable.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		entities:      make(map[string]*Entity, len(g.entities)),
+		triples:       make(map[string]*Triple, len(g.triples)),
+		bySubject:     cloneIDIndex(g.bySubject),
+		byObject:      cloneIDIndex(g.byObject),
+		byKey:         cloneIDIndex(g.byKey),
+		byPredicate:   cloneIDIndex(g.byPredicate),
+		tripleCounter: g.tripleCounter,
+	}
+	for id, e := range g.entities {
+		ce := *e
+		ng.entities[id] = &ce
+	}
+	for id, t := range g.triples {
+		ct := *t
+		ng.triples[id] = &ct
+	}
+	return ng
+}
+
+func cloneIDIndex(m map[string][]string) map[string][]string {
+	out := make(map[string][]string, len(m))
+	for k, ids := range m {
+		cp := make([]string, len(ids))
+		copy(cp, ids)
+		out[k] = cp
+	}
+	return out
+}
+
 // Entity returns the entity with the given canonical ID.
 func (g *Graph) Entity(id string) (*Entity, bool) {
 	e, ok := g.entities[id]
@@ -197,6 +235,11 @@ func (g *Graph) TriplesBySubject(entityID string) []*Triple {
 // raw material of a homologous subgraph.
 func (g *Graph) TriplesByKey(subjectID, predicate string) []*Triple {
 	return g.resolve(g.byKey[subjectID+"\x00"+predicate])
+}
+
+// TriplesByRawKey is TriplesByKey for a precomputed Triple.Key() value.
+func (g *Graph) TriplesByRawKey(key string) []*Triple {
+	return g.resolve(g.byKey[key])
 }
 
 // TriplesByPredicate returns all triples carrying the given predicate.

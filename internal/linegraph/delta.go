@@ -1,0 +1,65 @@
+package linegraph
+
+import (
+	"sort"
+
+	"multirag/internal/kg"
+)
+
+// BuildDelta incrementally maintains the homologous triple line graph: given
+// prev (the SG built over g minus the delta) and the IDs of triples newly
+// added to g, it returns a fresh SG equivalent to Build(g) while touching
+// only the (subject, predicate) keys the delta intersects.
+//
+// Untouched homologous nodes are shared by pointer with prev — they are
+// immutable once published — so the cost of one call is O(|delta| + K log K)
+// where K is the number of affected keys, instead of Build's O(|corpus|).
+// Repeated ingestion therefore costs O(n) total line-graph work rather than
+// the O(n²) of rebuilding from scratch each batch. The two top-level maps and
+// the isolated-point set are reassembled per call (O(#keys) pointer copies),
+// keeping prev fully usable by concurrent readers.
+//
+// A nil prev falls back to a full Build. Triple removal is not expressible as
+// a delta; callers that mutate the graph destructively rebuild from scratch.
+func BuildDelta(prev *SG, g *kg.Graph, newTripleIDs []string) *SG {
+	if prev == nil {
+		return Build(g)
+	}
+	sg := &SG{
+		Nodes:         make(map[string]*HomologousNode, len(prev.Nodes)),
+		byKeyIsolated: make(map[string]string, len(prev.byKeyIsolated)),
+		graph:         g,
+	}
+	for k, n := range prev.Nodes {
+		sg.Nodes[k] = n
+	}
+	for k, id := range prev.byKeyIsolated {
+		sg.byKeyIsolated[k] = id
+	}
+	affected := map[string]bool{}
+	for _, id := range newTripleIDs {
+		if t, ok := g.Triple(id); ok {
+			affected[t.Key()] = true
+		}
+	}
+	for key := range affected {
+		members := g.TriplesByRawKey(key)
+		delete(sg.Nodes, key)
+		delete(sg.byKeyIsolated, key)
+		switch {
+		case len(members) == 0:
+			// Key vanished (cannot happen for a pure-addition delta; kept for
+			// robustness).
+		case len(members) == 1:
+			sg.byKeyIsolated[key] = members[0].ID
+		default:
+			sg.Nodes[key] = newHomologousNode(key, members)
+		}
+	}
+	sg.Isolated = make([]string, 0, len(sg.byKeyIsolated))
+	for _, id := range sg.byKeyIsolated {
+		sg.Isolated = append(sg.Isolated, id)
+	}
+	sort.Strings(sg.Isolated)
+	return sg
+}

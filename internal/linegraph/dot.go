@@ -19,7 +19,7 @@ func (sg *SG) WriteDOT(w io.Writer, n *HomologousNode) error {
 	fmt.Fprintf(&b, "graph homologous {\n")
 	fmt.Fprintf(&b, "  label=%q;\n", n.SubjectID+" / "+n.Name)
 	fmt.Fprintf(&b, "  snode [shape=doublecircle,label=%q];\n",
-		fmt.Sprintf("%s\\nnum=%d C=%.2f", n.Name, n.Num, n.Confidence))
+		fmt.Sprintf("%s\\nnum=%d", n.Name, n.Num))
 	members := sg.MemberTriples(n)
 	for _, t := range members {
 		fmt.Fprintf(&b, "  %s [shape=box,label=%q];\n",

@@ -21,9 +21,6 @@ type HomologousNode struct {
 	Meta map[string]string
 	// Num is the number of homologous data instances (num in Def. 4).
 	Num int
-	// Confidence is the graph-level confidence C(G) of the homologous
-	// subgraph; it is zero until MCC fills it.
-	Confidence float64
 	// Members lists the member triple IDs, sorted.
 	Members []string
 	// Weights maps member triple ID → association-edge weight wᵢ (the
@@ -78,29 +75,37 @@ func Build(g *kg.Graph) *SG {
 			sg.byKeyIsolated[key] = members[0].ID
 			continue
 		}
-		node := &HomologousNode{
-			Key:       key,
-			SubjectID: members[0].Subject,
-			Name:      members[0].Predicate,
-			Meta:      map[string]string{},
-			Num:       len(members),
-			Weights:   map[string]float64{},
-		}
-		srcSet := map[string]bool{}
-		for _, t := range members {
-			node.Members = append(node.Members, t.ID)
-			node.Weights[t.ID] = t.Weight
-			srcSet[t.Source] = true
-		}
-		sort.Strings(node.Members)
-		for s := range srcSet {
-			node.Sources = append(node.Sources, s)
-		}
-		sort.Strings(node.Sources)
-		sg.Nodes[key] = node
+		sg.Nodes[key] = newHomologousNode(key, members)
 	}
 	sort.Strings(sg.Isolated)
 	return sg
+}
+
+// newHomologousNode assembles the homologous centre node for one key group
+// (≥2 members). Both the full Build and the incremental BuildDelta construct
+// nodes through here, so delta-maintained and from-scratch SGs are
+// structurally identical.
+func newHomologousNode(key string, members []*kg.Triple) *HomologousNode {
+	node := &HomologousNode{
+		Key:       key,
+		SubjectID: members[0].Subject,
+		Name:      members[0].Predicate,
+		Meta:      map[string]string{},
+		Num:       len(members),
+		Weights:   map[string]float64{},
+	}
+	srcSet := map[string]bool{}
+	for _, t := range members {
+		node.Members = append(node.Members, t.ID)
+		node.Weights[t.ID] = t.Weight
+		srcSet[t.Source] = true
+	}
+	sort.Strings(node.Members)
+	for s := range srcSet {
+		node.Sources = append(node.Sources, s)
+	}
+	sort.Strings(node.Sources)
+	return node
 }
 
 // Graph returns the underlying knowledge graph.

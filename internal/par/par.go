@@ -1,0 +1,45 @@
+// Package par provides the bounded fan-out primitive shared by the ingestion
+// engine: a fixed pool of goroutines draining an atomic work counter. It is a
+// leaf package so that both internal/adapter and internal/core (which imports
+// adapter) can use the same loop.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for i in [0, n) across at most workers goroutines
+// (workers <= 0 selects GOMAXPROCS). It returns when every index has been
+// processed; fn must do its own error collection (e.g. into a slice slot).
+func ForEach(workers, n int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

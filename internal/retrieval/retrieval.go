@@ -164,14 +164,39 @@ func NewIndex(dim int) *Index {
 	return &Index{dim: dim}
 }
 
-// Add inserts a chunk.
+// Add inserts a chunk, embedding it inline.
 func (ix *Index) Add(c Chunk) {
+	ix.AddEmbedded(c, Embed(c.Text, ix.dim))
+}
+
+// AddEmbedded inserts a chunk with a precomputed embedding. The concurrent
+// ingestion engine embeds chunks on worker goroutines and batch-appends them
+// here under the write lock, keeping the expensive hashing off the serial
+// commit path.
+func (ix *Index) AddEmbedded(c Chunk, v Vector) {
 	ix.chunks = append(ix.chunks, c)
-	ix.vecs = append(ix.vecs, Embed(c.Text, ix.dim))
+	ix.vecs = append(ix.vecs, v)
+}
+
+// CloneForAppend returns an index that shares the receiver's backing arrays
+// but has its slice capacities clipped, so any subsequent append reallocates
+// instead of writing into shared memory. This is the O(1) copy-on-write step
+// behind snapshot isolation: the receiver (a published, read-only snapshot)
+// is never mutated by writes to the clone.
+func (ix *Index) CloneForAppend() *Index {
+	return &Index{
+		dim:    ix.dim,
+		chunks: ix.chunks[:len(ix.chunks):len(ix.chunks)],
+		vecs:   ix.vecs[:len(ix.vecs):len(ix.vecs)],
+	}
 }
 
 // Len returns the number of indexed chunks.
 func (ix *Index) Len() int { return len(ix.chunks) }
+
+// Dim returns the embedding width, so callers can precompute vectors for
+// AddEmbedded off-thread.
+func (ix *Index) Dim() int { return ix.dim }
 
 // Search returns the top-k chunks by cosine similarity to the query, ties
 // broken by chunk ID for determinism.

@@ -2,6 +2,7 @@ package multirag
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"multirag/internal/adapter"
@@ -47,6 +48,9 @@ type Config struct {
 	// stages (ablations).
 	DisableGraphLevel bool
 	DisableNodeLevel  bool
+	// Workers bounds the ingestion worker pool and the AskConcurrent fan-out
+	// (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Answer is the trustworthy response to a query.
@@ -85,11 +89,14 @@ type Stats struct {
 	BuildTime       time.Duration
 }
 
-// System is a MultiRAG deployment over one corpus. It is not safe for
-// concurrent ingestion; queries are read-only once ingestion is complete.
+// System is a MultiRAG deployment over one corpus. All methods are safe for
+// concurrent use: queries run against immutable, atomically swapped
+// snapshots, so any number of Ask/Retrieve goroutines can proceed while
+// IngestFiles batches are committed. Concurrent IngestFiles calls are
+// serialised internally; each batch becomes visible atomically.
 type System struct {
 	inner  *core.System
-	chunks int
+	chunks atomic.Int64
 }
 
 // Open creates a System from cfg.
@@ -115,6 +122,7 @@ func Open(cfg Config) *System {
 		LLM:        llmCfg,
 		MCC:        mcc,
 		DisableMKA: cfg.DisableMKA,
+		Workers:    cfg.Workers,
 		Ablation: confidence.Options{
 			DisableGraphLevel: cfg.DisableGraphLevel,
 			DisableNodeLevel:  cfg.DisableNodeLevel,
@@ -123,7 +131,10 @@ func Open(cfg Config) *System {
 }
 
 // IngestFiles adapts, fuses and indexes the given files, extending the
-// knowledge graph and rebuilding the multi-source line graph.
+// knowledge graph and incrementally updating the multi-source line graph.
+// Per-file adaptation, extraction and embedding run on a bounded worker pool
+// (Config.Workers); the batch commits atomically, so concurrent Ask calls
+// see either the whole batch or none of it.
 func (s *System) IngestFiles(files ...File) error {
 	raw := make([]adapter.RawFile, 0, len(files))
 	for _, f := range files {
@@ -139,7 +150,7 @@ func (s *System) IngestFiles(files ...File) error {
 	if err != nil {
 		return err
 	}
-	s.chunks += rep.Chunks
+	s.chunks.Add(int64(rep.Chunks))
 	return nil
 }
 
@@ -147,6 +158,9 @@ func (s *System) IngestFiles(files ...File) error {
 // Supported grammars: "What is the <attribute> of <entity>?", the two-hop
 // form "What is the <a> of the <r> of <entity>?", and "Do <e1> and <e2> have
 // the same <attribute>?".
+//
+// Ask is safe for unbounded concurrent use, including while IngestFiles is
+// running: each call evaluates against one immutable snapshot.
 func (s *System) Ask(query string) Answer {
 	a := s.inner.Query(query)
 	out := Answer{
@@ -167,6 +181,19 @@ func (s *System) Ask(query string) Answer {
 	return out
 }
 
+// AskConcurrent answers a batch of queries, fanning them out across the
+// worker pool (Config.Workers, default GOMAXPROCS). Results are returned in
+// input order. Each query still evaluates against whatever snapshot is
+// current when it starts, so AskConcurrent may be interleaved with
+// IngestFiles.
+func (s *System) AskConcurrent(queries []string) []Answer {
+	out := make([]Answer, len(queries))
+	core.Parallel(s.inner.Workers(), len(queries), func(i int) {
+		out[i] = s.Ask(queries[i])
+	})
+	return out
+}
+
 // Retrieve returns the top-k supporting document identifiers for a query,
 // ranked by trusted-evidence provenance first and dense similarity second.
 func (s *System) Retrieve(query string, k int) []string {
@@ -175,12 +202,15 @@ func (s *System) Retrieve(query string, k int) []string {
 
 // Stats reports corpus statistics.
 func (s *System) Stats() Stats {
+	// One snapshot load keeps the counts mutually consistent even while an
+	// ingest batch commits concurrently.
+	g, sg, _ := s.inner.Serving()
 	st := Stats{
-		Entities: s.inner.Graph().NumEntities(),
-		Triples:  s.inner.Graph().NumTriples(),
-		Chunks:   s.chunks,
+		Entities: g.NumEntities(),
+		Triples:  g.NumTriples(),
+		Chunks:   int(s.chunks.Load()),
 	}
-	if sg := s.inner.SG(); sg != nil {
+	if sg != nil {
 		hs := sg.ComputeStats()
 		st.HomologousNodes = hs.HomologousNodes
 		st.IsolatedClaims = hs.Isolated
