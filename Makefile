@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_SCALE ?= 0.12
 
-.PHONY: check vet build test race bench clean
+.PHONY: check vet build test race bench bench-retrieval clean
 
 # check is the CI entry point: static analysis, full build, race-enabled tests.
 check: vet build race
@@ -23,5 +23,11 @@ race:
 bench:
 	$(GO) run ./cmd/benchtables -scale $(BENCH_SCALE) -json BENCH_core.json
 
+# bench-retrieval runs the retrieval-layer microbenchmarks (full-sort vs heap
+# top-k vs postings pruning vs sharded scan) at the configured scale and
+# records the timing report.
+bench-retrieval:
+	$(GO) run ./cmd/benchtables -retrieval -scale $(BENCH_SCALE) -json BENCH_retrieval.json
+
 clean:
-	rm -f BENCH_core.json
+	rm -f BENCH_core.json BENCH_retrieval.json

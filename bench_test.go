@@ -1,10 +1,10 @@
 package multirag
 
-// This file is the benchmark harness required by DESIGN.md §3: one testing.B
+// This file is the benchmark harness required by DESIGN.md §4: one testing.B
 // target per paper table and figure (run at a reduced scale so `go test
 // -bench=.` completes in minutes — use cmd/benchtables for the full-scale
-// regeneration), ablation benches for the design decisions DESIGN.md §4
-// calls out, and micro-benchmarks for the core data structures.
+// regeneration), ablation benches for the design decisions DESIGN.md §2–§3
+// call out, and micro-benchmarks for the core data structures.
 
 import (
 	"fmt"

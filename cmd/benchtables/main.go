@@ -5,6 +5,7 @@
 //	benchtables                  # everything, paper scale
 //	benchtables -table 2        # one table (1..5)
 //	benchtables -figure 5       # one figure (5..7)
+//	benchtables -retrieval      # retrieval-layer microbenchmarks only
 //	benchtables -scale 0.2      # quick run at 20% workload
 //	benchtables -seed 7         # different generation seed
 //	benchtables -json BENCH_core.json   # also write per-job wall times as JSON
@@ -23,6 +24,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "regenerate only this table (1-5)")
 	figure := flag.Int("figure", 0, "regenerate only this figure (5-7)")
+	retr := flag.Bool("retrieval", false, "run only the retrieval-layer microbenchmarks")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (entities and queries)")
 	seed := flag.Uint64("seed", 1, "dataset / model seed")
 	jsonOut := flag.String("json", "", "write per-job wall-clock timings to this JSON file")
@@ -39,6 +41,12 @@ func main() {
 		jobs = append(jobs, job{name, run})
 	}
 	switch {
+	case *retr:
+		if *table > 0 || *figure > 0 {
+			fmt.Fprintln(os.Stderr, "benchtables: -retrieval cannot be combined with -table/-figure")
+			os.Exit(2)
+		}
+		add("Retrieval", bench.Retrieval)
 	case *table > 0:
 		switch *table {
 		case 1:

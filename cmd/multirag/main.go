@@ -32,12 +32,21 @@ func main() {
 		explain = flag.Bool("explain", false, "show trusted evidence and confidence detail")
 		seed    = flag.Uint64("seed", 1, "simulated model seed")
 		workers = flag.Int("workers", 0, "ingestion worker pool size (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 0, "retrieval index shard count (0 = default, 1 = flat scan)")
+		noPost  = flag.Bool("no-postings", false, "disable the retrieval postings pre-filter")
+		cache   = flag.Int("cache", 0, "answer cache size in entries (0 = disabled)")
 		k       = flag.Int("k", 5, "documents to retrieve with -retrieve")
 		retr    = flag.String("retrieve", "", "retrieve supporting documents for a query")
 	)
 	flag.Parse()
 
-	sys := multirag.Open(multirag.Config{Seed: *seed, Workers: *workers})
+	sys := multirag.Open(multirag.Config{
+		Seed:            *seed,
+		Workers:         *workers,
+		Shards:          *shards,
+		DisablePostings: *noPost,
+		AnswerCache:     *cache,
+	})
 
 	if *demo {
 		if err := sys.IngestFiles(demoFiles()...); err != nil {

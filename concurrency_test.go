@@ -155,6 +155,6 @@ func TestConcurrentIngestFiles(t *testing.T) {
 		t.Fatalf("triples = %d, want %d", st.Triples, batches)
 	}
 	if st.Chunks != batches {
-		t.Fatalf("chunks = %d, want %d (atomic accounting lost updates)", st.Chunks, batches)
+		t.Fatalf("chunks = %d, want %d (snapshot index lost a batch)", st.Chunks, batches)
 	}
 }

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"multirag/internal/retrieval"
+)
+
+// Retrieval is the retrieval-layer microbenchmark behind `make
+// bench-retrieval`: it contrasts the seed full-sort scan against the layered
+// subsystem (bounded heap top-k, postings pruning, sharded parallel scan) on
+// synthetic corpora, verifying on the way that every variant returns
+// identical hits. Options.Scale shrinks the corpus for CI smoke runs.
+func Retrieval(o Options) error {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	scale := o.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	base := int(20000 * scale)
+	if base < 400 {
+		base = 400
+	}
+	sizes := []int{base / 10, base}
+	const k = 5
+	const queries = 32
+
+	fmt.Fprintf(o.Out, "Retrieval microbenchmarks (k=%d, %d queries per cell; per-query mean)\n", k, queries)
+	fmt.Fprintf(o.Out, "%-22s", "variant")
+	for _, n := range sizes {
+		fmt.Fprintf(o.Out, "  %14s", fmt.Sprintf("n=%d", n))
+	}
+	fmt.Fprintln(o.Out)
+
+	rng := rand.New(rand.NewSource(int64(seed)))
+	type cell struct{ perQuery time.Duration }
+	rows := []string{"full-sort scan", "heap top-k", "heap+postings", "sharded", "sharded+postings"}
+	results := map[string][]cell{}
+
+	for _, n := range sizes {
+		chunks, vecs := retrievalCorpus(rng, n)
+		qvs := make([]retrieval.Vector, queries)
+		for i := range qvs {
+			qvs[i] = retrieval.Embed(retrievalText(rng), retrieval.DefaultDim)
+		}
+		stores := map[string]retrieval.Store{
+			"heap top-k":       retrieval.New(retrieval.Options{}),
+			"heap+postings":    retrieval.New(retrieval.Options{Postings: true}),
+			"sharded":          retrieval.New(retrieval.Options{Shards: 8}),
+			"sharded+postings": retrieval.New(retrieval.Options{Shards: 8, Postings: true}),
+		}
+		for _, st := range stores {
+			for i := range chunks {
+				st.AddEmbedded(chunks[i], vecs[i])
+			}
+		}
+
+		// Reference timing and reference results for the equality check.
+		want := make([][]retrieval.Hit, queries)
+		start := time.Now()
+		for i, qv := range qvs {
+			want[i] = fullSortScan(chunks, vecs, qv, k)
+		}
+		results["full-sort scan"] = append(results["full-sort scan"], cell{time.Since(start) / queries})
+
+		for _, name := range rows[1:] {
+			st := stores[name]
+			start := time.Now()
+			for _, qv := range qvs {
+				st.SearchVector(qv, k, nil)
+			}
+			results[name] = append(results[name], cell{time.Since(start) / queries})
+			for i, qv := range qvs {
+				if !sameHits(st.SearchVector(qv, k, nil), want[i]) {
+					return fmt.Errorf("retrieval bench: %s diverges from full sort at n=%d query %d", name, n, i)
+				}
+			}
+		}
+	}
+
+	for _, name := range rows {
+		fmt.Fprintf(o.Out, "%-22s", name)
+		for i, c := range results[name] {
+			suffix := ""
+			if name != rows[0] {
+				ref := results[rows[0]][i].perQuery
+				if c.perQuery > 0 {
+					suffix = fmt.Sprintf(" (%4.1fx)", float64(ref)/float64(c.perQuery))
+				}
+			}
+			fmt.Fprintf(o.Out, "  %14s", fmt.Sprintf("%s%s", fmtMicros(c.perQuery), suffix))
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+func fmtMicros(d time.Duration) string {
+	return fmt.Sprintf("%.0fµs", float64(d.Nanoseconds())/1e3)
+}
+
+// retrievalVocab mixes high-overlap attribute tokens with entity-like tokens
+// so scores tie often and the postings filter sees realistic selectivity.
+var retrievalVocab = []string{
+	"status", "delayed", "on", "time", "boarding", "gate", "departure",
+	"director", "year", "genre", "price", "volume", "airport", "typhoon",
+	"harbor", "garden", "monument", "voyage", "crimson", "silent",
+}
+
+func retrievalText(rng *rand.Rand) string {
+	n := 3 + rng.Intn(8)
+	words := make([]string, n)
+	for i := range words {
+		if rng.Intn(4) == 0 {
+			words[i] = fmt.Sprintf("e%04d", rng.Intn(2000)) // entity-ish token
+		} else {
+			words[i] = retrievalVocab[rng.Intn(len(retrievalVocab))]
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+func retrievalCorpus(rng *rand.Rand, n int) ([]retrieval.Chunk, []retrieval.Vector) {
+	chunks := make([]retrieval.Chunk, n)
+	vecs := make([]retrieval.Vector, n)
+	for i := range chunks {
+		chunks[i] = retrieval.Chunk{
+			ID:     fmt.Sprintf("bench/d%06d#c0", i),
+			DocID:  fmt.Sprintf("bench/d%06d", i),
+			Source: fmt.Sprintf("src-%d", i%5),
+			Text:   retrievalText(rng),
+		}
+		vecs[i] = retrieval.Embed(chunks[i].Text, retrieval.DefaultDim)
+	}
+	return chunks, vecs
+}
+
+// fullSortScan reproduces the seed Search implementation: materialise and
+// stably full-sort every hit.
+func fullSortScan(chunks []retrieval.Chunk, vecs []retrieval.Vector, qv retrieval.Vector, k int) []retrieval.Hit {
+	hits := make([]retrieval.Hit, len(chunks))
+	for i := range chunks {
+		hits[i] = retrieval.Hit{Chunk: chunks[i], Score: retrieval.Cosine(qv, vecs[i])}
+	}
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Chunk.ID < hits[j].Chunk.ID
+	})
+	if k > len(hits) {
+		k = len(hits)
+	}
+	return hits[:k]
+}
+
+func sameHits(a, b []retrieval.Hit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Chunk.ID != b[i].Chunk.ID || a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}

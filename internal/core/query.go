@@ -39,9 +39,22 @@ type Answer struct {
 // Query executes MKLGP (Algorithm 2) for a natural-language query. It is
 // safe for unbounded concurrent use: the whole evaluation runs against one
 // immutable snapshot loaded up front, so in-flight ingestion never changes
-// the view mid-query.
+// the view mid-query. With Config.AnswerCacheSize > 0, repeated queries
+// against the same snapshot generation are served from the answer cache.
 func (s *System) Query(q string) Answer {
-	return s.queryOn(s.snap.Load(), q)
+	ans, _ := s.queryCached(s.snap.Load(), q)
+	return ans
+}
+
+// queryCached evaluates q against sn, consulting the generation-keyed answer
+// cache first. It reports whether the answer came from the cache.
+func (s *System) queryCached(sn *snapshot, q string) (Answer, bool) {
+	if ans, ok := s.answers.get(sn.gen, q); ok {
+		return ans, true
+	}
+	ans := s.queryOn(sn, q)
+	s.answers.put(sn.gen, q, ans)
+	return ans, false
 }
 
 func (s *System) queryOn(sn *snapshot, q string) Answer {
@@ -155,7 +168,7 @@ func (s *System) gatherEvidence(sn *snapshot, query, entity, relation string) (e
 // "w/o MKA" behaviour.
 func (s *System) gatherByChunks(sn *snapshot, query, entity, relation string) (ev []llm.Evidence, trusted []confidence.TrustedNode, rejected int, gcs []float64, stages []StageSnapshot) {
 	k := s.cfg.RetrievalK * 4
-	hits := sn.index.Search(query, k)
+	hits := sn.index.SearchVector(s.embeds.get(query), k, nil)
 	subj := kg.CanonicalID(s.model.Standardize(entity))
 	// Per-query extraction over retrieved chunks.
 	tmp := kg.New()
@@ -284,6 +297,7 @@ func (s *System) answerComparison(sn *snapshot, ans *Answer) {
 	for _, v := range v2 {
 		if set[kg.CanonicalID(v)] {
 			same = true
+			break
 		}
 	}
 	if same {
@@ -295,7 +309,7 @@ func (s *System) answerComparison(sn *snapshot, ans *Answer) {
 
 // answerFallback handles unparsed queries via pure chunk retrieval.
 func (s *System) answerFallback(sn *snapshot, ans *Answer, q string) {
-	hits := sn.index.Search(q, s.cfg.RetrievalK)
+	hits := sn.index.SearchVector(s.embeds.get(q), s.cfg.RetrievalK, nil)
 	var ev []llm.Evidence
 	for _, h := range hits {
 		ev = append(ev, llm.Evidence{Value: h.Chunk.Text, Weight: h.Score, Source: h.Chunk.Source})
@@ -322,7 +336,7 @@ func (s *System) RetrieveDocs(q string, k int) []string {
 // under concurrent ingestion.
 func (s *System) QueryWithDocs(q string, k int) (Answer, []string) {
 	sn := s.snap.Load()
-	ans := s.queryOn(sn, q)
+	ans, _ := s.queryCached(sn, q)
 	var ranked []string
 	seen := map[string]bool{}
 	// Trusted triples first, in confidence order.
@@ -336,8 +350,9 @@ func (s *System) QueryWithDocs(q string, k int) (Answer, []string) {
 			ranked = append(ranked, doc)
 		}
 	}
-	// Fill with dense hits.
-	for _, h := range sn.index.Search(q, k*2) {
+	// Fill with dense hits: the bounded top-k scan reuses the cached query
+	// embedding, so ranking costs no extra Embed beyond the answer's own.
+	for _, h := range sn.index.SearchVector(s.embeds.get(q), k*2, nil) {
 		doc := docOfChunk(h.Chunk.DocID)
 		if doc != "" && !seen[doc] {
 			seen[doc] = true

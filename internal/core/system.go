@@ -43,8 +43,27 @@ type Config struct {
 	// fetches (default 5, matching Recall@5).
 	RetrievalK int
 	// Workers bounds the ingestion worker pool (adapter parsing, per-file
-	// extraction, chunk embedding). 0 selects GOMAXPROCS.
+	// extraction, chunk embedding) and the per-query shard-scan fan-out.
+	// 0 selects GOMAXPROCS.
 	Workers int
+	// Shards hash-partitions the chunk index into shards scanned in
+	// parallel. 0 selects DefaultShards; 1 forces the flat single-shard
+	// index. The shard count is a pure performance knob: results are
+	// identical whatever its value.
+	Shards int
+	// DisablePostings turns off the inverted-postings candidate pre-filter
+	// on the chunk index. Like Shards it cannot change results, only the
+	// amount of work a query scan does; it exists for A/B benchmarking.
+	DisablePostings bool
+	// AnswerCacheSize bounds the per-snapshot answer cache (entries); 0
+	// disables it. The cache is invalidated whenever a snapshot is
+	// published, so cached answers never outlive the corpus state that
+	// produced them. Leave it off when metering per-query LLM cost or when
+	// exact confidence reproducibility across a query sequence matters:
+	// a hit skips the simulated model and MCC's online source-history
+	// update, so later different queries may see slightly shifted
+	// confidence values (see cache.go).
+	AnswerCacheSize int
 	// DisableIncrementalSG forces a full linegraph.Build on every Ingest
 	// instead of applying the batch delta to the previous SG. It exists to
 	// A/B-benchmark the incremental maintenance path; leave it off in
@@ -61,8 +80,15 @@ type Config struct {
 type snapshot struct {
 	graph *kg.Graph
 	sg    *linegraph.SG
-	index *retrieval.Index
+	index retrieval.Store
+	// gen is the publication generation, bumped on every snapshot swap. It
+	// keys the answer cache: answers computed against generation g are
+	// served only while g is still the published generation.
+	gen uint64
 }
+
+// DefaultShards is the chunk-index shard count selected by Config.Shards = 0.
+const DefaultShards = 8
 
 // System is an assembled MultiRAG deployment over one corpus. Queries are
 // safe for unbounded concurrency; Ingest and RebuildSG are serialised
@@ -82,6 +108,12 @@ type System struct {
 	// snap is the atomically published serving snapshot. Query loads it once
 	// and runs entirely against that immutable view.
 	snap atomic.Pointer[snapshot]
+
+	// embeds memoises query embeddings (pure function of the text, never
+	// invalidated); answers memoises whole evaluations per snapshot
+	// generation (flushed on every publish). See cache.go.
+	embeds  *embedCache
+	answers *answerCache
 
 	// mu serialises the write path and guards the build-cost counters.
 	mu sync.Mutex
@@ -105,6 +137,9 @@ func NewSystem(cfg Config) *System {
 	if cfg.RetrievalK <= 0 {
 		cfg.RetrievalK = 5
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
 	model := llm.NewSim(cfg.LLM)
 	ingestModel := llm.NewSim(cfg.LLM)
 	s := &System{
@@ -114,10 +149,17 @@ func NewSystem(cfg Config) *System {
 		registry:    adapter.NewRegistry(),
 		ingestModel: ingestModel,
 		extractor:   extract.New(ingestModel),
+		embeds:      newEmbedCache(retrieval.DefaultDim),
+		answers:     newAnswerCache(cfg.AnswerCacheSize),
 	}
 	s.snap.Store(&snapshot{
 		graph: kg.New(),
-		index: retrieval.NewIndex(retrieval.DefaultDim),
+		index: retrieval.New(retrieval.Options{
+			Dim:      retrieval.DefaultDim,
+			Shards:   cfg.Shards,
+			Postings: !cfg.DisablePostings,
+			Workers:  cfg.Workers,
+		}),
 	})
 	return s
 }
@@ -154,12 +196,12 @@ func (s *System) SG() *linegraph.SG { return s.snap.Load().sg }
 func (s *System) MCC() *confidence.MCC { return s.mcc }
 
 // Index exposes the current retrieval index.
-func (s *System) Index() *retrieval.Index { return s.snap.Load().index }
+func (s *System) Index() retrieval.Searcher { return s.snap.Load().index }
 
 // Serving returns the components of one published snapshot, so callers can
 // derive mutually consistent statistics under concurrent ingestion (separate
 // Graph()/SG()/Index() calls may straddle a snapshot swap).
-func (s *System) Serving() (*kg.Graph, *linegraph.SG, *retrieval.Index) {
+func (s *System) Serving() (*kg.Graph, *linegraph.SG, retrieval.Searcher) {
 	sn := s.snap.Load()
 	return sn.graph, sn.sg, sn.index
 }
@@ -259,7 +301,7 @@ func (s *System) Ingest(files []adapter.RawFile) (IngestReport, error) {
 	rep.Extraction.Entities = g.NumEntities() - entBefore
 	rep.Extraction.Triples = g.NumTriples() - triBefore
 
-	next := &snapshot{graph: g, index: ix}
+	next := &snapshot{graph: g, index: ix, gen: cur.gen + 1}
 	if !s.cfg.DisableMKA {
 		if s.cfg.DisableIncrementalSG {
 			next.sg = linegraph.Build(g)
@@ -290,6 +332,7 @@ func (s *System) RebuildSG() {
 		graph: cur.graph,
 		sg:    linegraph.Build(cur.graph),
 		index: cur.index,
+		gen:   cur.gen + 1,
 	})
 	s.buildReal += time.Since(start)
 }

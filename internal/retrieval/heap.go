@@ -1,0 +1,105 @@
+package retrieval
+
+// topK is a bounded selector for the k best hits of a scan. It keeps at most
+// k hits in a binary min-heap whose root is the weakest kept hit (lowest
+// score; among equal scores, highest chunk ID — the reverse of the output
+// order, so the root is always the next hit to evict). A scan over N chunks
+// therefore does O(N log k) comparisons and O(k) allocation, where the
+// full-sort idiom it replaces materialised N hits and paid O(N log N).
+//
+// Determinism: for any multiset of (score, ID) pairs with distinct IDs, the
+// kept set and its sorted() order are exactly the first k elements of the
+// stable full sort by (score desc, ID asc) — the contract the property tests
+// pin against the reference scan.
+type topK struct {
+	k    int
+	hits []Hit
+}
+
+// newTopK returns a selector for the k best hits. k must be > 0.
+func newTopK(k int) *topK {
+	cap := k
+	if cap > 1024 {
+		cap = 1024 // defensive: callers may pass k >> corpus size
+	}
+	return &topK{k: k, hits: make([]Hit, 0, cap)}
+}
+
+// beats reports whether hit a outranks hit b in the output order:
+// higher score first, ties broken by ascending chunk ID.
+func beats(a, b *Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Chunk.ID < b.Chunk.ID
+}
+
+// consider offers one scanned hit to the selector.
+func (t *topK) consider(c Chunk, score float64) {
+	h := Hit{Chunk: c, Score: score}
+	if len(t.hits) < t.k {
+		t.hits = append(t.hits, h)
+		t.siftUp(len(t.hits) - 1)
+		return
+	}
+	// Full: the new hit enters only if it outranks the current weakest.
+	if !beats(&h, &t.hits[0]) {
+		return
+	}
+	t.hits[0] = h
+	t.siftDown(0, len(t.hits))
+}
+
+// weaker reports whether hits[i] should sit closer to the heap root than
+// hits[j], i.e. hits[i] is evicted before hits[j].
+func (t *topK) weaker(i, j int) bool { return beats(&t.hits[j], &t.hits[i]) }
+
+func (t *topK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.weaker(i, parent) {
+			return
+		}
+		t.hits[i], t.hits[parent] = t.hits[parent], t.hits[i]
+		i = parent
+	}
+}
+
+func (t *topK) siftDown(i, n int) {
+	for {
+		least := i
+		if l := 2*i + 1; l < n && t.weaker(l, least) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && t.weaker(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		t.hits[i], t.hits[least] = t.hits[least], t.hits[i]
+		i = least
+	}
+}
+
+// len reports how many hits are currently kept.
+func (t *topK) len() int { return len(t.hits) }
+
+// worst returns the weakest kept hit; the selector must be non-empty.
+func (t *topK) worst() *Hit { return &t.hits[0] }
+
+// sorted consumes the heap and returns the kept hits in output order (score
+// desc, ID asc). The selector must not be reused afterwards. An empty
+// selector returns nil, matching the historical Search contract.
+func (t *topK) sorted() []Hit {
+	if len(t.hits) == 0 {
+		return nil
+	}
+	// Heapsort: repeatedly move the weakest hit to the shrinking tail, so the
+	// array ends ordered best-first.
+	for end := len(t.hits) - 1; end > 0; end-- {
+		t.hits[0], t.hits[end] = t.hits[end], t.hits[0]
+		t.siftDown(0, end)
+	}
+	return t.hits
+}

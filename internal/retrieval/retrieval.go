@@ -1,15 +1,18 @@
 // Package retrieval provides the dense-retrieval substrate used by the
 // multi-hop QA experiments and by MKLGP's multi-document filtering step:
-// token-budgeted chunking, deterministic feature-hashed embeddings and a
-// cosine top-k index. The embedding is a stand-in for the paper's neural
-// retriever: it preserves the property that lexically related text scores
-// high, which is what the benchmark corpora exercise.
+// token-budgeted chunking, deterministic feature-hashed embeddings, and a
+// layered exact cosine top-k subsystem (flat or sharded scan, optional
+// inverted-postings pruning) behind the Searcher interface. The embedding is
+// a stand-in for the paper's neural retriever: it preserves the property
+// that lexically related text scores high, which is what the benchmark
+// corpora exercise.
 package retrieval
 
 import (
 	"math"
-	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"multirag/internal/textutil"
 )
@@ -59,21 +62,7 @@ func ChunkText(docID, source, text string, maxTokens int) []Chunk {
 }
 
 func chunkID(docID string, n int) string {
-	return docID + "#c" + itoa(n)
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var b [20]byte
-	i := len(b)
-	for n > 0 {
-		i--
-		b[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(b[i:])
+	return docID + "#c" + strconv.Itoa(n)
 }
 
 func splitSentences(text string) []string {
@@ -93,11 +82,21 @@ type Vector []float32
 // DefaultDim is the embedding width used across the repository.
 const DefaultDim = 256
 
+// embedCalls counts Embed invocations process-wide. The per-query evaluation
+// cache in internal/core asserts against it that repeated sub-questions do
+// not re-embed.
+var embedCalls atomic.Uint64
+
+// EmbedCalls returns the number of Embed invocations since process start.
+// It exists for cache-efficiency assertions in tests and benchmarks.
+func EmbedCalls() uint64 { return embedCalls.Load() }
+
 // Embed maps text to a deterministic L2-normalised feature-hashed vector:
 // unigrams and bigrams of the content tokens are hashed into dim buckets
 // with a sign hash (the classic hashing trick), giving stable lexical
 // similarity under cosine.
 func Embed(text string, dim int) Vector {
+	embedCalls.Add(1)
 	if dim <= 0 {
 		dim = DefaultDim
 	}
@@ -148,15 +147,21 @@ type Hit struct {
 	Score float64
 }
 
-// Index is an exact cosine top-k index over chunks.
+// Index is the flat exact cosine top-k index over chunks: one contiguous
+// scan, optionally pruned by an inverted-postings pre-filter. It is both the
+// single-shard Store and the building block of the Sharded index.
 type Index struct {
 	dim    int
 	chunks []Chunk
 	vecs   []Vector
+	// post, when non-nil, prunes scans to lexically plausible candidates
+	// with an exact-scan fallback (see postings.go).
+	post *postings
 }
 
-// NewIndex returns an empty index with the given embedding width
-// (<=0 selects DefaultDim).
+// NewIndex returns an empty flat index with the given embedding width
+// (<=0 selects DefaultDim) and no postings pre-filter; use New to configure
+// the layered variants.
 func NewIndex(dim int) *Index {
 	if dim <= 0 {
 		dim = DefaultDim
@@ -174,6 +179,9 @@ func (ix *Index) Add(c Chunk) {
 // here under the write lock, keeping the expensive hashing off the serial
 // commit path.
 func (ix *Index) AddEmbedded(c Chunk, v Vector) {
+	if ix.post != nil {
+		ix.post.add(len(ix.chunks), v)
+	}
 	ix.chunks = append(ix.chunks, c)
 	ix.vecs = append(ix.vecs, v)
 }
@@ -183,12 +191,16 @@ func (ix *Index) AddEmbedded(c Chunk, v Vector) {
 // instead of writing into shared memory. This is the O(1) copy-on-write step
 // behind snapshot isolation: the receiver (a published, read-only snapshot)
 // is never mutated by writes to the clone.
-func (ix *Index) CloneForAppend() *Index {
-	return &Index{
+func (ix *Index) CloneForAppend() Store {
+	clone := &Index{
 		dim:    ix.dim,
 		chunks: ix.chunks[:len(ix.chunks):len(ix.chunks)],
 		vecs:   ix.vecs[:len(ix.vecs):len(ix.vecs)],
 	}
+	if ix.post != nil {
+		clone.post = ix.post.cloneForAppend()
+	}
+	return clone
 }
 
 // Len returns the number of indexed chunks.
@@ -201,47 +213,64 @@ func (ix *Index) Dim() int { return ix.dim }
 // Search returns the top-k chunks by cosine similarity to the query, ties
 // broken by chunk ID for determinism.
 func (ix *Index) Search(query string, k int) []Hit {
+	return ix.SearchFiltered(query, k, nil)
+}
+
+// SearchFiltered is Search restricted to chunks whose source passes keep
+// (nil keeps everything).
+func (ix *Index) SearchFiltered(query string, k int, keep func(source string) bool) []Hit {
 	if k <= 0 || len(ix.chunks) == 0 {
 		return nil
 	}
-	qv := Embed(query, ix.dim)
-	hits := make([]Hit, len(ix.chunks))
-	for i := range ix.chunks {
-		hits[i] = Hit{Chunk: ix.chunks[i], Score: Cosine(qv, ix.vecs[i])}
-	}
-	sort.SliceStable(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].Chunk.ID < hits[j].Chunk.ID
-	})
-	if k > len(hits) {
-		k = len(hits)
-	}
-	return hits[:k]
+	return ix.SearchVector(Embed(query, ix.dim), k, keep)
 }
 
-// SearchFiltered is Search restricted to chunks whose source passes keep.
-func (ix *Index) SearchFiltered(query string, k int, keep func(source string) bool) []Hit {
-	if k <= 0 {
+// SearchVector runs the scan against a caller-supplied query vector, letting
+// one embedding serve several sub-searches.
+func (ix *Index) SearchVector(qv Vector, k int, keep func(source string) bool) []Hit {
+	if k <= 0 || len(ix.chunks) == 0 {
 		return nil
 	}
-	qv := Embed(query, ix.dim)
-	var hits []Hit
+	if ix.post != nil {
+		if hits, ok := ix.searchPruned(qv, k, keep); ok {
+			return hits
+		}
+	}
+	return ix.scanAll(qv, k, keep)
+}
+
+// scanAll is the exact reference scan: every kept chunk through the bounded
+// top-k selector.
+func (ix *Index) scanAll(qv Vector, k int, keep func(string) bool) []Hit {
+	t := newTopK(k)
 	for i := range ix.chunks {
 		if keep != nil && !keep(ix.chunks[i].Source) {
 			continue
 		}
-		hits = append(hits, Hit{Chunk: ix.chunks[i], Score: Cosine(qv, ix.vecs[i])})
+		t.consider(ix.chunks[i], Cosine(qv, ix.vecs[i]))
 	}
-	sort.SliceStable(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+	return t.sorted()
+}
+
+// searchPruned scans only the postings candidates. It reports ok only when
+// the pruned result is provably identical to the full scan: the selector is
+// full and its weakest hit scores strictly above zero, so every non-candidate
+// (exact score zero) ranks below everything kept. Otherwise the caller must
+// fall back to scanAll.
+func (ix *Index) searchPruned(qv Vector, k int, keep func(string) bool) ([]Hit, bool) {
+	cands := ix.post.candidates(qv, len(ix.chunks))
+	if len(cands) < k {
+		return nil, false
+	}
+	t := newTopK(k)
+	for _, ord := range cands {
+		if keep != nil && !keep(ix.chunks[ord].Source) {
+			continue
 		}
-		return hits[i].Chunk.ID < hits[j].Chunk.ID
-	})
-	if k > len(hits) {
-		k = len(hits)
+		t.consider(ix.chunks[ord], Cosine(qv, ix.vecs[ord]))
 	}
-	return hits[:k]
+	if t.len() == k && t.worst().Score > 0 {
+		return t.sorted(), true
+	}
+	return nil, false
 }

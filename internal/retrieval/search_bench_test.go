@@ -1,0 +1,95 @@
+package retrieval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// fullSortSearch reproduces the seed implementation of Index.Search — one
+// Hit per indexed chunk, stable full sort — as the baseline the heap
+// selector is measured against.
+func fullSortSearch(chunks []Chunk, vecs []Vector, qv Vector, k int) []Hit {
+	hits := make([]Hit, len(chunks))
+	for i := range chunks {
+		hits[i] = Hit{Chunk: chunks[i], Score: Cosine(qv, vecs[i])}
+	}
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Chunk.ID < hits[j].Chunk.ID
+	})
+	if k > len(hits) {
+		k = len(hits)
+	}
+	return hits[:k]
+}
+
+// benchSizes are the corpus scales BenchmarkSearch sweeps; the heap selector
+// must beat the full sort at the 10k point and above.
+var benchSizes = []int{1000, 10000, 50000}
+
+func benchCorpusSized(b *testing.B, n, dim int) ([]Chunk, []Vector) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return randCorpus(rng, n, dim)
+}
+
+// BenchmarkSearch compares the retrieval strategies at k=5 across corpus
+// sizes: the seed full-sort scan, the bounded heap scan, the postings-pruned
+// scan and the sharded parallel scan.
+func BenchmarkSearch(b *testing.B) {
+	const dim = DefaultDim
+	const k = 5
+	for _, n := range benchSizes {
+		if testing.Short() && n > 10000 {
+			continue
+		}
+		chunks, vecs := benchCorpusSized(b, n, dim)
+		qv := Embed("status delayed typhoon airport", dim)
+
+		b.Run(fmt.Sprintf("fullsort/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fullSortSearch(chunks, vecs, qv, k)
+			}
+		})
+		for name, opts := range map[string]Options{
+			"heap":             {Dim: dim},
+			"heap+postings":    {Dim: dim, Postings: true},
+			"sharded8":         {Dim: dim, Shards: 8},
+			"sharded8+posting": {Dim: dim, Shards: 8, Postings: true},
+		} {
+			st := New(opts)
+			for i := range chunks {
+				st.AddEmbedded(chunks[i], vecs[i])
+			}
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					st.SearchVector(qv, k, nil)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSearchTopKWidth sweeps k at a fixed corpus size, the axis where
+// heap selection's O(N log k) pays off over O(N log N).
+func BenchmarkSearchTopKWidth(b *testing.B) {
+	const dim = DefaultDim
+	const n = 10000
+	chunks, vecs := benchCorpusSized(b, n, dim)
+	qv := Embed("status delayed typhoon airport", dim)
+	st := New(Options{Dim: dim})
+	for i := range chunks {
+		st.AddEmbedded(chunks[i], vecs[i])
+	}
+	for _, k := range []int{1, 5, 20, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st.SearchVector(qv, k, nil)
+			}
+		})
+	}
+}

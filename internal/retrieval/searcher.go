@@ -1,0 +1,71 @@
+package retrieval
+
+// Searcher is the read-side retrieval contract: exact cosine top-k over an
+// immutable view of the indexed chunks. Both the flat Index and the Sharded
+// index implement it, so the serving engine, baselines and benchmarks can
+// swap scan strategies without touching call sites.
+//
+// All implementations return identical results for identical corpora — score
+// for score, hit for hit, in (score desc, chunk ID asc) order — which is what
+// lets the engine treat the shard count and the postings pre-filter as pure
+// performance knobs. The property tests in sharded_test.go pin that contract
+// against a reference full-sort scan.
+type Searcher interface {
+	// Len returns the number of indexed chunks.
+	Len() int
+	// Dim returns the embedding width, so callers can precompute query
+	// vectors for SearchVector.
+	Dim() int
+	// Search returns the top-k chunks by cosine similarity to the query,
+	// ties broken by chunk ID.
+	Search(query string, k int) []Hit
+	// SearchFiltered is Search restricted to chunks whose source passes
+	// keep (nil keeps everything).
+	SearchFiltered(query string, k int, keep func(source string) bool) []Hit
+	// SearchVector is the embedding-reuse entry point: it runs the same
+	// scan against a caller-supplied query vector, so one embedding can
+	// serve several sub-searches (multi-hop bridging, doc-ranking fill).
+	SearchVector(qv Vector, k int, keep func(source string) bool) []Hit
+}
+
+// Store extends Searcher with the write-side operations the ingest engine
+// uses: appends and the O(1) copy-on-write clone behind snapshot isolation.
+type Store interface {
+	Searcher
+	// Add inserts a chunk, embedding it inline.
+	Add(c Chunk)
+	// AddEmbedded inserts a chunk with a precomputed embedding.
+	AddEmbedded(c Chunk, v Vector)
+	// CloneForAppend returns a store that shares the receiver's backing
+	// arrays with clipped capacities, so appends to the clone never mutate
+	// the receiver (a published, read-only snapshot).
+	CloneForAppend() Store
+}
+
+// Options configures New.
+type Options struct {
+	// Dim is the embedding width (<=0 selects DefaultDim).
+	Dim int
+	// Shards is the number of hash partitions scanned in parallel; <=1
+	// selects the flat single-shard index.
+	Shards int
+	// Postings enables the inverted-postings candidate pre-filter on every
+	// shard (see postings.go).
+	Postings bool
+	// Workers bounds the per-query shard-scan fan-out (<=0 selects
+	// GOMAXPROCS). Ignored by the flat index.
+	Workers int
+}
+
+// New assembles a Store from opts: a flat Index for Shards <= 1, a Sharded
+// index otherwise, each with or without the postings pre-filter.
+func New(opts Options) Store {
+	if opts.Shards > 1 {
+		return NewSharded(opts)
+	}
+	ix := NewIndex(opts.Dim)
+	if opts.Postings {
+		ix.post = newPostings(ix.dim)
+	}
+	return ix
+}

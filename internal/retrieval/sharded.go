@@ -1,0 +1,115 @@
+package retrieval
+
+import (
+	"multirag/internal/par"
+	"multirag/internal/textutil"
+)
+
+// Sharded is a hash-partitioned exact index: chunks are routed to one of n
+// flat shards by a stable hash of their chunk ID, and a query scans the
+// shards in parallel via the internal/par fan-out primitive (bounded per
+// query by Options.Workers; concurrent queries each fan out independently),
+// merging per-shard top-k results. Partitioning by content-independent hash
+// keeps every shard
+// an unbiased sample of the corpus, so per-shard top-k plus a merge is
+// exactly global top-k. Results are bit-identical to the flat Index: the
+// same per-chunk Cosine calls produce the same float64 scores, and the merge
+// re-ranks with the same (score desc, ID asc) comparator.
+//
+// Copy-on-write works per shard: CloneForAppend clips every shard, so an
+// ingest commit appends into private tails while published snapshots keep
+// serving the old arrays — PR 1's snapshot-isolation contract, preserved
+// shard by shard.
+type Sharded struct {
+	dim     int
+	workers int
+	shards  []*Index
+}
+
+// NewSharded builds an empty sharded index from opts (Shards must be >= 2;
+// use New to fall back to the flat index otherwise).
+func NewSharded(opts Options) *Sharded {
+	dim := opts.Dim
+	if dim <= 0 {
+		dim = DefaultDim
+	}
+	s := &Sharded{dim: dim, workers: opts.Workers, shards: make([]*Index, opts.Shards)}
+	for i := range s.shards {
+		s.shards[i] = NewIndex(dim)
+		if opts.Postings {
+			s.shards[i].post = newPostings(dim)
+		}
+	}
+	return s
+}
+
+// shardOf routes a chunk ID to its home shard. The hash is salted so shard
+// routing is independent of the embedding bucket hash.
+func (s *Sharded) shardOf(id string) int {
+	return int(textutil.Hash64("shard|"+id) % uint64(len(s.shards)))
+}
+
+// Add inserts a chunk, embedding it inline.
+func (s *Sharded) Add(c Chunk) { s.AddEmbedded(c, Embed(c.Text, s.dim)) }
+
+// AddEmbedded inserts a chunk with a precomputed embedding into its home
+// shard.
+func (s *Sharded) AddEmbedded(c Chunk, v Vector) {
+	s.shards[s.shardOf(c.ID)].AddEmbedded(c, v)
+}
+
+// CloneForAppend clips every shard (O(shards) slice headers), preserving the
+// per-shard copy-on-write contract.
+func (s *Sharded) CloneForAppend() Store {
+	clone := &Sharded{dim: s.dim, workers: s.workers, shards: make([]*Index, len(s.shards))}
+	for i, sh := range s.shards {
+		clone.shards[i] = sh.CloneForAppend().(*Index)
+	}
+	return clone
+}
+
+// Len returns the number of indexed chunks across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Dim returns the embedding width.
+func (s *Sharded) Dim() int { return s.dim }
+
+// Search returns the top-k chunks by cosine similarity to the query.
+func (s *Sharded) Search(query string, k int) []Hit {
+	return s.SearchFiltered(query, k, nil)
+}
+
+// SearchFiltered is Search restricted to chunks whose source passes keep.
+func (s *Sharded) SearchFiltered(query string, k int, keep func(source string) bool) []Hit {
+	if k <= 0 || s.Len() == 0 {
+		return nil
+	}
+	return s.SearchVector(Embed(query, s.dim), k, keep)
+}
+
+// SearchVector fans the scan out across the shards and merges the per-shard
+// winners. The merge feeds shard results in fixed shard order, but order
+// cannot matter: chunk IDs are unique across shards, so the comparator is a
+// strict total order on hits.
+func (s *Sharded) SearchVector(qv Vector, k int, keep func(source string) bool) []Hit {
+	if k <= 0 {
+		return nil
+	}
+	perShard := make([][]Hit, len(s.shards))
+	par.ForEach(s.workers, len(s.shards), func(i int) {
+		perShard[i] = s.shards[i].SearchVector(qv, k, keep)
+	})
+	merged := newTopK(k)
+	for _, hits := range perShard {
+		for i := range hits {
+			merged.consider(hits[i].Chunk, hits[i].Score)
+		}
+	}
+	return merged.sorted()
+}

@@ -2,7 +2,6 @@ package multirag
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"multirag/internal/adapter"
@@ -51,6 +50,20 @@ type Config struct {
 	// Workers bounds the ingestion worker pool and the AskConcurrent fan-out
 	// (0 = GOMAXPROCS).
 	Workers int
+	// Shards hash-partitions the retrieval index into shards scanned in
+	// parallel per query (0 = a sensible default; 1 = flat single-shard
+	// scan). A pure performance knob: answers are identical for any value.
+	Shards int
+	// DisablePostings turns off the lexical candidate pre-filter on the
+	// retrieval index. Also a pure performance knob, kept for A/B runs.
+	DisablePostings bool
+	// AnswerCache bounds the per-corpus-version answer cache (entries);
+	// 0 disables it. The cache is flushed automatically whenever IngestFiles
+	// commits, so cached answers never reflect a stale corpus. Cache hits
+	// skip the evaluation pipeline, including its online source-authority
+	// learning, so confidence scores on later queries may differ slightly
+	// from an uncached run; answer values for a given corpus do not.
+	AnswerCache int
 }
 
 // Answer is the trustworthy response to a query.
@@ -95,8 +108,7 @@ type Stats struct {
 // IngestFiles batches are committed. Concurrent IngestFiles calls are
 // serialised internally; each batch becomes visible atomically.
 type System struct {
-	inner  *core.System
-	chunks atomic.Int64
+	inner *core.System
 }
 
 // Open creates a System from cfg.
@@ -119,10 +131,13 @@ func Open(cfg Config) *System {
 		llmCfg.Seed = cfg.Seed
 	}
 	return &System{inner: core.NewSystem(core.Config{
-		LLM:        llmCfg,
-		MCC:        mcc,
-		DisableMKA: cfg.DisableMKA,
-		Workers:    cfg.Workers,
+		LLM:             llmCfg,
+		MCC:             mcc,
+		DisableMKA:      cfg.DisableMKA,
+		Workers:         cfg.Workers,
+		Shards:          cfg.Shards,
+		DisablePostings: cfg.DisablePostings,
+		AnswerCacheSize: cfg.AnswerCache,
 		Ablation: confidence.Options{
 			DisableGraphLevel: cfg.DisableGraphLevel,
 			DisableNodeLevel:  cfg.DisableNodeLevel,
@@ -146,12 +161,8 @@ func (s *System) IngestFiles(files ...File) error {
 			Format: f.Format, Meta: f.Meta, Content: f.Content,
 		})
 	}
-	rep, err := s.inner.Ingest(raw)
-	if err != nil {
-		return err
-	}
-	s.chunks.Add(int64(rep.Chunks))
-	return nil
+	_, err := s.inner.Ingest(raw)
+	return err
 }
 
 // Ask answers a natural-language question over the ingested corpus.
@@ -203,12 +214,13 @@ func (s *System) Retrieve(query string, k int) []string {
 // Stats reports corpus statistics.
 func (s *System) Stats() Stats {
 	// One snapshot load keeps the counts mutually consistent even while an
-	// ingest batch commits concurrently.
-	g, sg, _ := s.inner.Serving()
+	// ingest batch commits concurrently; the chunk count comes from the same
+	// snapshot's index rather than a separate counter.
+	g, sg, ix := s.inner.Serving()
 	st := Stats{
 		Entities: g.NumEntities(),
 		Triples:  g.NumTriples(),
-		Chunks:   int(s.chunks.Load()),
+		Chunks:   ix.Len(),
 	}
 	if sg != nil {
 		hs := sg.ComputeStats()
