@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_SCALE ?= 0.12
 
-.PHONY: check vet build test race bench bench-retrieval clean
+.PHONY: check vet build test race bench bench-retrieval bench-graph clean
 
 # check is the CI entry point: static analysis, full build, race-enabled tests.
 check: vet build race
@@ -29,5 +29,11 @@ bench:
 bench-retrieval:
 	$(GO) run ./cmd/benchtables -retrieval -scale $(BENCH_SCALE) -json BENCH_retrieval.json
 
+# bench-graph runs the graph-core microbenchmarks (seed deep-clone vs
+# copy-on-write columnar clone, nested-map vs sort-merge line-graph build)
+# and records the timing report.
+bench-graph:
+	$(GO) run ./cmd/benchtables -graph -scale $(BENCH_SCALE) -json BENCH_graph.json
+
 clean:
-	rm -f BENCH_core.json BENCH_retrieval.json
+	rm -f BENCH_core.json BENCH_retrieval.json BENCH_graph.json

@@ -210,12 +210,11 @@ func BenchmarkMCCRun(b *testing.B) {
 	g := benchGraph(b)
 	sg := linegraph.Build(g)
 	var nodes []*linegraph.HomologousNode
-	for _, n := range sg.Nodes {
-		nodes = append(nodes, n)
-		if len(nodes) == 8 {
-			break
+	sg.ForEachNode(func(_ string, n *linegraph.HomologousNode) {
+		if len(nodes) < 8 {
+			nodes = append(nodes, n)
 		}
-	}
+	})
 	m := confidence.New(confidence.DefaultConfig(), llm.NewSim(llm.DefaultConfig()), confidence.NewHistoryStore())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

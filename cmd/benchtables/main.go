@@ -6,6 +6,7 @@
 //	benchtables -table 2        # one table (1..5)
 //	benchtables -figure 5       # one figure (5..7)
 //	benchtables -retrieval      # retrieval-layer microbenchmarks only
+//	benchtables -graph          # graph-core microbenchmarks only
 //	benchtables -scale 0.2      # quick run at 20% workload
 //	benchtables -seed 7         # different generation seed
 //	benchtables -json BENCH_core.json   # also write per-job wall times as JSON
@@ -25,6 +26,7 @@ func main() {
 	table := flag.Int("table", 0, "regenerate only this table (1-5)")
 	figure := flag.Int("figure", 0, "regenerate only this figure (5-7)")
 	retr := flag.Bool("retrieval", false, "run only the retrieval-layer microbenchmarks")
+	graph := flag.Bool("graph", false, "run only the graph-core microbenchmarks")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (entities and queries)")
 	seed := flag.Uint64("seed", 1, "dataset / model seed")
 	jsonOut := flag.String("json", "", "write per-job wall-clock timings to this JSON file")
@@ -37,16 +39,27 @@ func main() {
 		run  func(bench.Options) error
 	}
 	var jobs []job
+	var graphDetail *bench.GraphReport
 	add := func(name string, run func(bench.Options) error) {
 		jobs = append(jobs, job{name, run})
 	}
 	switch {
 	case *retr:
-		if *table > 0 || *figure > 0 {
-			fmt.Fprintln(os.Stderr, "benchtables: -retrieval cannot be combined with -table/-figure")
+		if *table > 0 || *figure > 0 || *graph {
+			fmt.Fprintln(os.Stderr, "benchtables: -retrieval cannot be combined with -table/-figure/-graph")
 			os.Exit(2)
 		}
 		add("Retrieval", bench.Retrieval)
+	case *graph:
+		if *table > 0 || *figure > 0 {
+			fmt.Fprintln(os.Stderr, "benchtables: -graph cannot be combined with -table/-figure")
+			os.Exit(2)
+		}
+		add("Graph", func(o bench.Options) error {
+			rep, err := bench.GraphBenchReport(o)
+			graphDetail = rep
+			return err
+		})
 	case *table > 0:
 		switch *table {
 		case 1:
@@ -90,10 +103,11 @@ func main() {
 		Seconds float64 `json:"seconds"`
 	}
 	report := struct {
-		Seed    uint64   `json:"seed"`
-		Scale   float64  `json:"scale"`
-		Jobs    []timing `json:"jobs"`
-		Seconds float64  `json:"total_seconds"`
+		Seed    uint64             `json:"seed"`
+		Scale   float64            `json:"scale"`
+		Jobs    []timing           `json:"jobs"`
+		Seconds float64            `json:"total_seconds"`
+		Graph   *bench.GraphReport `json:"graph,omitempty"`
 	}{Seed: *seed, Scale: *scale}
 	for _, j := range jobs {
 		start := time.Now()
@@ -106,6 +120,7 @@ func main() {
 		report.Seconds += elapsed.Seconds()
 		fmt.Fprintf(os.Stdout, "\n[%s regenerated in %v]\n\n", j.name, elapsed.Round(time.Millisecond))
 	}
+	report.Graph = graphDetail
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

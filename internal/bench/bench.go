@@ -1,7 +1,7 @@
 // Package bench regenerates every table and figure of the paper's evaluation
 // section (§IV). Each experiment has one entry point (TableI … TableV,
 // Figure5 … Figure7) that runs the workload and renders plain-text output
-// comparable, row for row, with the paper. See DESIGN.md §4 for the
+// comparable, row for row, with the paper. See DESIGN.md §5 for the
 // experiment index and EXPERIMENTS.md for recorded paper-vs-measured results.
 package bench
 

@@ -1,0 +1,344 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"time"
+
+	"multirag/internal/kg"
+	"multirag/internal/linegraph"
+)
+
+// GraphReport carries the structured graph-core benchmark results for
+// BENCH_graph.json (stdout gets the human-readable table).
+type GraphReport struct {
+	Cells []GraphCell `json:"cells"`
+}
+
+// GraphCell is one (job, corpus size) measurement: seed vs interned timing
+// plus, where measured, the allocation delta.
+type GraphCell struct {
+	Job            string  `json:"job"`
+	N              int     `json:"n"`
+	SeedMicros     float64 `json:"seed_us"`
+	InternedMicros float64 `json:"interned_us"`
+	Speedup        float64 `json:"speedup"`
+	SeedAllocs     float64 `json:"seed_allocs,omitempty"`
+	InternedAllocs float64 `json:"interned_allocs,omitempty"`
+}
+
+// graphReport collects cells for the current GraphBench run when the caller
+// asked for them (benchtables -graph -json).
+var graphReport *GraphReport
+
+// GraphBenchReport runs GraphBench and returns the structured cells.
+func GraphBenchReport(o Options) (*GraphReport, error) {
+	rep := &GraphReport{}
+	graphReport = rep
+	defer func() { graphReport = nil }()
+	if err := GraphBench(o); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// GraphBench is the graph-core microbenchmark behind `make bench-graph`: it
+// contrasts the seed string-keyed map substrate (deep clone per commit,
+// nested-map line-graph dedup, full isolated re-sort per delta) against the
+// interned columnar core (copy-on-write clone, int32 sort-merge adjacency,
+// lazy isolated materialisation) on synthetic corpora, verifying on the way
+// that both representations agree on every compared observable.
+// Options.Scale shrinks the corpus for CI smoke runs.
+func GraphBench(o Options) error {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	scale := o.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	base := int(10000 * scale)
+	if base < 500 {
+		base = 500
+	}
+	sizes := []int{base / 10, base}
+	const commits = 16
+	const batch = 64
+
+	fmt.Fprintf(o.Out, "Graph-core microbenchmarks (%d commits of %d triples per cell)\n", commits, batch)
+
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		corpus := graphCorpus(rng, n)
+		deltas := make([][]graphFact, commits)
+		for i := range deltas {
+			deltas[i] = graphCorpus(rng, batch)
+		}
+
+		fmt.Fprintf(o.Out, "\n--- n=%d ---\n", n)
+		if err := benchClonePerCommit(o, n, corpus, deltas); err != nil {
+			return err
+		}
+		if err := benchTransform(o, n, corpus); err != nil {
+			return err
+		}
+		if err := benchBuildDelta(o, n, corpus, deltas); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// graphFact is one synthetic claim; entity and value spaces are kept small
+// relative to n so homologous groups form and entity objects link.
+type graphFact struct {
+	subj, pred, obj, src string
+	weight               float64
+}
+
+func graphCorpus(rng *rand.Rand, n int) []graphFact {
+	ents := n/8 + 4
+	facts := make([]graphFact, n)
+	for i := range facts {
+		obj := fmt.Sprintf("value-%d", rng.Intn(n/4+2))
+		if rng.Intn(4) == 0 {
+			obj = fmt.Sprintf("Entity %d", rng.Intn(ents)) // entity link
+		}
+		facts[i] = graphFact{
+			subj:   fmt.Sprintf("Entity %d", rng.Intn(ents)),
+			pred:   fmt.Sprintf("attr%d", rng.Intn(6)),
+			obj:    obj,
+			src:    fmt.Sprintf("src-%d", rng.Intn(5)),
+			weight: 0.5 + 0.1*float64(rng.Intn(5)),
+		}
+	}
+	return facts
+}
+
+func loadGraph(g *kg.Graph, facts []graphFact) error {
+	_, err := loadGraphIDs(g, facts)
+	return err
+}
+
+func loadGraphIDs(g *kg.Graph, facts []graphFact) ([]string, error) {
+	ids := make([]string, 0, len(facts))
+	for _, f := range facts {
+		id := g.AddEntity(f.subj, "Entity", "bench")
+		tid, err := g.AddTriple(kg.Triple{
+			Subject: id, Predicate: f.pred, Object: f.obj,
+			Source: f.src, Domain: "bench", Weight: f.weight,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, tid)
+	}
+	return ids, nil
+}
+
+func loadSeedGraph(g *seedGraph, facts []graphFact) error {
+	for _, f := range facts {
+		id := g.addEntity(f.subj, "Entity", "bench")
+		if _, err := g.addTriple(kg.Triple{
+			Subject: id, Predicate: f.pred, Object: f.obj,
+			Source: f.src, Domain: "bench", Weight: f.weight,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measure runs fn reps times and returns mean wall-clock, heap allocations
+// and bytes per run.
+func measure(reps int, fn func()) (perOp time.Duration, allocs, bytes float64) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	r := float64(reps)
+	return elapsed / time.Duration(reps), float64(m1.Mallocs-m0.Mallocs) / r, float64(m1.TotalAlloc-m0.TotalAlloc) / r
+}
+
+// bestOf returns the fastest of reps runs of fn.
+func bestOf(reps int, fn func()) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		if el := time.Since(start); i == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+func ratioRow(out Options, n int, name string, seed, interned time.Duration, seedAllocs, internedAllocs float64, extra string) {
+	ratio := ""
+	speedup := 0.0
+	if interned > 0 {
+		speedup = float64(seed) / float64(interned)
+		ratio = fmt.Sprintf(" (%.1fx)", speedup)
+	}
+	fmt.Fprintf(out.Out, "%-24s  seed %10s   interned %10s%s%s\n",
+		name, fmtMicros(seed), fmtMicros(interned), ratio, extra)
+	if graphReport != nil {
+		graphReport.Cells = append(graphReport.Cells, GraphCell{
+			Job: name, N: n,
+			SeedMicros:     float64(seed.Nanoseconds()) / 1e3,
+			InternedMicros: float64(interned.Nanoseconds()) / 1e3,
+			Speedup:        speedup,
+			SeedAllocs:     seedAllocs,
+			InternedAllocs: internedAllocs,
+		})
+	}
+}
+
+// benchClonePerCommit times the ingest-commit pattern — clone the published
+// graph, append one batch — on the seed deep-copy substrate vs the
+// copy-on-write columnar core, then cross-checks the two final graphs.
+func benchClonePerCommit(o Options, n int, corpus []graphFact, deltas [][]graphFact) error {
+	ref := newSeedGraph()
+	g := kg.New()
+	if err := loadSeedGraph(ref, corpus); err != nil {
+		return err
+	}
+	if err := loadGraph(g, corpus); err != nil {
+		return err
+	}
+
+	var seedTotal, internedTotal time.Duration
+	for _, d := range deltas {
+		start := time.Now()
+		ref = ref.clone()
+		if err := loadSeedGraph(ref, d); err != nil {
+			return err
+		}
+		seedTotal += time.Since(start)
+
+		start = time.Now()
+		g = g.Clone()
+		if err := loadGraph(g, d); err != nil {
+			return err
+		}
+		internedTotal += time.Since(start)
+	}
+	ratioRow(o, n, "clone-per-commit", seedTotal/commitsIn(deltas), internedTotal/commitsIn(deltas), 0, 0, "")
+
+	// Equivalence: both substrates must agree on counts, degree structure and
+	// every homologous key group.
+	if ref.numTriples() != g.NumTriples() || ref.numEntities() != g.NumEntities() {
+		return fmt.Errorf("graph bench: seed/interned counts diverge: (%d,%d) vs (%d,%d)",
+			ref.numEntities(), ref.numTriples(), g.NumEntities(), g.NumTriples())
+	}
+	if ref.maxDegree() != g.MaxDegree() {
+		return fmt.Errorf("graph bench: max degree diverges: %d vs %d", ref.maxDegree(), g.MaxDegree())
+	}
+	for key, ids := range ref.byKey {
+		got := g.TriplesByRawKey(key)
+		if len(got) != len(ids) {
+			return fmt.Errorf("graph bench: key %q group size diverges: %d vs %d", key, len(got), len(ids))
+		}
+		for i, t := range got {
+			if t.ID != ids[i] {
+				return fmt.Errorf("graph bench: key %q member %d diverges: %s vs %s", key, i, t.ID, ids[i])
+			}
+		}
+	}
+	return nil
+}
+
+func commitsIn(deltas [][]graphFact) time.Duration {
+	return time.Duration(len(deltas))
+}
+
+// benchTransform times the full line-graph transform: seed nested-map dedup
+// vs handle-based sort-merge, reporting the allocation delta the sort-merge
+// rewrite buys (the O(E²)-memory seen maps are the seed's dominant cost).
+func benchTransform(o Options, n int, corpus []graphFact) error {
+	g := kg.New()
+	if err := loadGraph(g, corpus); err != nil {
+		return err
+	}
+	reps := 4
+	var want, got *linegraph.LineGraph
+	seedTime, seedAllocs, seedBytes := measure(reps, func() { want = seedTransform(g) })
+	newTime, newAllocs, newBytes := measure(reps, func() { got = linegraph.Transform(g) })
+	extra := fmt.Sprintf("   allocs %.0f → %.0f, bytes %.0f → %.0f", seedAllocs, newAllocs, seedBytes, newBytes)
+	ratioRow(o, n, "line-graph transform", seedTime, newTime, seedAllocs, newAllocs, extra)
+	if !reflect.DeepEqual(got.Nodes, want.Nodes) || !reflect.DeepEqual(got.Adj, want.Adj) {
+		return fmt.Errorf("graph bench: transform diverges from seed implementation at n=%d", n)
+	}
+	return nil
+}
+
+// benchBuildDelta times incremental SG maintenance across a batch sequence:
+// the seed discipline (copy both maps, regroup affected keys, rebuild and
+// re-sort the whole isolated list every batch) vs linegraph.BuildDelta with
+// lazy isolated materialisation. Both run over the same interned graph, so
+// the measured delta isolates the linegraph-layer change.
+func benchBuildDelta(o Options, n int, corpus []graphFact, deltas [][]graphFact) error {
+	g := kg.New()
+	if err := loadGraph(g, corpus); err != nil {
+		return err
+	}
+	seedBase := seedBuild(g)
+	newBase := linegraph.Build(g)
+	batchIDs := make([][]string, 0, len(deltas))
+	for _, d := range deltas {
+		ids, err := loadGraphIDs(g, d)
+		if err != nil {
+			return err
+		}
+		batchIDs = append(batchIDs, ids)
+	}
+
+	// Each rep replays the whole batch chain from the pre-delta base; the
+	// best of several reps damps scheduler noise at small corpus sizes.
+	const chainReps = 5
+	var seedChain *seedSG
+	seedTime := bestOf(chainReps, func() {
+		seedChain = seedBase
+		for _, ids := range batchIDs {
+			seedChain = seedBuildDelta(seedChain, g, ids)
+		}
+	}) / time.Duration(len(batchIDs))
+
+	var newChain *linegraph.SG
+	newTime := bestOf(chainReps, func() {
+		newChain = newBase
+		for _, ids := range batchIDs {
+			newChain = linegraph.BuildDelta(newChain, g, ids)
+		}
+	}) / time.Duration(len(batchIDs))
+	ratioRow(o, n, "build-delta per batch", seedTime, newTime, 0, 0, "")
+
+	// Equivalence: both chains must match a from-scratch build over the
+	// final corpus, node for node and isolated point for isolated point.
+	want := linegraph.Build(g)
+	if !reflect.DeepEqual(newChain.ComputeStats(), want.ComputeStats()) ||
+		!reflect.DeepEqual(newChain.IsolatedIDs(), want.IsolatedIDs()) {
+		return fmt.Errorf("graph bench: incremental delta chain diverges from scratch build")
+	}
+	if len(seedChain.nodes) != want.NumNodes() {
+		return fmt.Errorf("graph bench: seed-style node count %d diverges from scratch %d", len(seedChain.nodes), want.NumNodes())
+	}
+	for key, sn := range seedChain.nodes {
+		wn, ok := want.Node(key)
+		if !ok || !reflect.DeepEqual(sn.members, wn.Members) {
+			return fmt.Errorf("graph bench: seed-style node %q diverges from scratch build", key)
+		}
+	}
+	if !reflect.DeepEqual(seedChain.isolated, want.IsolatedIDs()) {
+		return fmt.Errorf("graph bench: seed-style isolated set diverges from scratch build")
+	}
+	return nil
+}

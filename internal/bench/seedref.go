@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"multirag/internal/kg"
+	"multirag/internal/linegraph"
+)
+
+// This file reproduces the seed graph substrate for the graph-core
+// microbenchmarks, the same way retrieval.go's fullSortScan reproduces the
+// seed Search: string-keyed maps everywhere, a deep copy per Clone, nested
+// seen maps in the line-graph transform, and a full isolated re-sort per
+// delta batch. GraphBench races these against the interned columnar core and
+// checks both sides agree.
+
+// seedGraph is the seed kg.Graph: maps of strings with a deep Clone.
+type seedGraph struct {
+	entities map[string]*kg.Entity
+	triples  map[string]*kg.Triple
+
+	bySubject     map[string][]string
+	byObject      map[string][]string
+	byKey         map[string][]string
+	byPredicate   map[string][]string
+	tripleCounter int
+}
+
+func newSeedGraph() *seedGraph {
+	return &seedGraph{
+		entities:    map[string]*kg.Entity{},
+		triples:     map[string]*kg.Triple{},
+		bySubject:   map[string][]string{},
+		byObject:    map[string][]string{},
+		byKey:       map[string][]string{},
+		byPredicate: map[string][]string{},
+	}
+}
+
+func (g *seedGraph) addEntity(name, typ, domain string) string {
+	id := kg.CanonicalID(name)
+	if id == "" {
+		return ""
+	}
+	if e, ok := g.entities[id]; ok {
+		if e.Type == "" {
+			e.Type = typ
+		}
+		if e.Domain == "" {
+			e.Domain = domain
+		}
+		return id
+	}
+	g.entities[id] = &kg.Entity{ID: id, Name: name, Type: typ, Domain: domain}
+	return id
+}
+
+func (g *seedGraph) addTriple(t kg.Triple) (string, error) {
+	if _, ok := g.entities[t.Subject]; !ok {
+		return "", fmt.Errorf("seed graph: unknown subject %q", t.Subject)
+	}
+	if t.Weight == 0 {
+		t.Weight = 1
+	}
+	g.tripleCounter++
+	t.ID = fmt.Sprintf("t%06d", g.tripleCounter)
+	if t.ObjectEntity == "" {
+		if oid := kg.CanonicalID(t.Object); oid != "" {
+			if _, ok := g.entities[oid]; ok {
+				t.ObjectEntity = oid
+			}
+		}
+	}
+	tc := t
+	g.triples[tc.ID] = &tc
+	g.bySubject[tc.Subject] = append(g.bySubject[tc.Subject], tc.ID)
+	g.byKey[tc.Key()] = append(g.byKey[tc.Key()], tc.ID)
+	g.byPredicate[tc.Predicate] = append(g.byPredicate[tc.Predicate], tc.ID)
+	if tc.ObjectEntity != "" {
+		g.byObject[tc.ObjectEntity] = append(g.byObject[tc.ObjectEntity], tc.ID)
+	}
+	return tc.ID, nil
+}
+
+func (g *seedGraph) clone() *seedGraph {
+	ng := newSeedGraph()
+	ng.tripleCounter = g.tripleCounter
+	for id, e := range g.entities {
+		ce := *e
+		ng.entities[id] = &ce
+	}
+	for id, t := range g.triples {
+		ct := *t
+		ng.triples[id] = &ct
+	}
+	cloneIdx := func(m map[string][]string) map[string][]string {
+		out := make(map[string][]string, len(m))
+		for k, ids := range m {
+			cp := make([]string, len(ids))
+			copy(cp, ids)
+			out[k] = cp
+		}
+		return out
+	}
+	ng.bySubject = cloneIdx(g.bySubject)
+	ng.byObject = cloneIdx(g.byObject)
+	ng.byKey = cloneIdx(g.byKey)
+	ng.byPredicate = cloneIdx(g.byPredicate)
+	return ng
+}
+
+func (g *seedGraph) numEntities() int { return len(g.entities) }
+func (g *seedGraph) numTriples() int  { return len(g.triples) }
+
+func (g *seedGraph) maxDegree() int {
+	max := 0
+	for id := range g.entities {
+		if d := len(g.bySubject[id]) + len(g.byObject[id]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// seedTransform is the seed line-graph transform (nested seen maps) run over
+// the public kg API, so the timing difference against linegraph.Transform is
+// purely algorithmic.
+func seedTransform(g *kg.Graph) *linegraph.LineGraph {
+	lg := &linegraph.LineGraph{Adj: map[string][]string{}}
+	lg.Nodes = g.TripleIDs()
+	incidence := map[string][]string{}
+	for _, id := range lg.Nodes {
+		t, _ := g.Triple(id)
+		incidence[t.Subject] = append(incidence[t.Subject], id)
+		if t.ObjectEntity != "" && t.ObjectEntity != t.Subject {
+			incidence[t.ObjectEntity] = append(incidence[t.ObjectEntity], id)
+		}
+	}
+	seen := map[string]map[string]bool{}
+	for _, ids := range incidence {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if seen[a] == nil {
+					seen[a] = map[string]bool{}
+				}
+				if seen[a][b] {
+					continue
+				}
+				seen[a][b] = true
+				if seen[b] == nil {
+					seen[b] = map[string]bool{}
+				}
+				seen[b][a] = true
+				lg.Adj[a] = append(lg.Adj[a], b)
+				lg.Adj[b] = append(lg.Adj[b], a)
+			}
+		}
+	}
+	for _, neigh := range lg.Adj {
+		sort.Strings(neigh)
+	}
+	return lg
+}
+
+// seedSG mirrors the seed SG': nodes, an eagerly sorted isolated list and a
+// key index, reassembled per delta batch.
+type seedSG struct {
+	nodes         map[string]*seedNode
+	isolated      []string
+	byKeyIsolated map[string]string
+}
+
+// seedNode carries the same content as linegraph.HomologousNode, assembled
+// with the same sorting work.
+type seedNode struct {
+	key       string
+	subjectID string
+	name      string
+	num       int
+	members   []string
+	weights   map[string]float64
+	sources   []string
+}
+
+func newSeedNode(key string, members []*kg.Triple) *seedNode {
+	n := &seedNode{
+		key:       key,
+		subjectID: members[0].Subject,
+		name:      members[0].Predicate,
+		num:       len(members),
+		weights:   map[string]float64{},
+	}
+	srcSet := map[string]bool{}
+	for _, t := range members {
+		n.members = append(n.members, t.ID)
+		n.weights[t.ID] = t.Weight
+		srcSet[t.Source] = true
+	}
+	sort.Strings(n.members)
+	for s := range srcSet {
+		n.sources = append(n.sources, s)
+	}
+	sort.Strings(n.sources)
+	return n
+}
+
+// seedBuild is the seed from-scratch homologous matching (fresh group-by
+// hash map over all live triples).
+func seedBuild(g *kg.Graph) *seedSG {
+	sg := &seedSG{nodes: map[string]*seedNode{}, byKeyIsolated: map[string]string{}}
+	groups := map[string][]*kg.Triple{}
+	for _, id := range g.TripleIDs() {
+		t, _ := g.Triple(id)
+		groups[t.Key()] = append(groups[t.Key()], t)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		members := groups[key]
+		if len(members) < 2 {
+			sg.isolated = append(sg.isolated, members[0].ID)
+			sg.byKeyIsolated[key] = members[0].ID
+			continue
+		}
+		sg.nodes[key] = newSeedNode(key, members)
+	}
+	sort.Strings(sg.isolated)
+	return sg
+}
+
+// seedBuildDelta is the seed incremental maintenance: share untouched nodes,
+// regroup affected keys — and rebuild + re-sort the entire isolated list
+// every batch, the cost GraphBench isolates.
+func seedBuildDelta(prev *seedSG, g *kg.Graph, newTripleIDs []string) *seedSG {
+	if prev == nil {
+		return seedBuild(g)
+	}
+	sg := &seedSG{
+		nodes:         make(map[string]*seedNode, len(prev.nodes)),
+		byKeyIsolated: make(map[string]string, len(prev.byKeyIsolated)),
+	}
+	for k, n := range prev.nodes {
+		sg.nodes[k] = n
+	}
+	for k, id := range prev.byKeyIsolated {
+		sg.byKeyIsolated[k] = id
+	}
+	affected := map[string]bool{}
+	for _, id := range newTripleIDs {
+		if t, ok := g.Triple(id); ok {
+			affected[t.Key()] = true
+		}
+	}
+	for key := range affected {
+		members := g.TriplesByRawKey(key)
+		delete(sg.nodes, key)
+		delete(sg.byKeyIsolated, key)
+		switch {
+		case len(members) == 0:
+		case len(members) == 1:
+			sg.byKeyIsolated[key] = members[0].ID
+		default:
+			sg.nodes[key] = newSeedNode(key, members)
+		}
+	}
+	sg.isolated = make([]string, 0, len(sg.byKeyIsolated))
+	for _, id := range sg.byKeyIsolated {
+		sg.isolated = append(sg.isolated, id)
+	}
+	sort.Strings(sg.isolated)
+	return sg
+}

@@ -128,26 +128,35 @@ func (m *MCC) Run(sg *linegraph.SG, candidates []*linegraph.HomologousNode, opts
 	if len(candidates) == 0 {
 		return res
 	}
-	// Stage 1: graph-level confidence.
+	// Stage 1: graph-level confidence. Member triples and their value sets
+	// are resolved once per candidate — handle-indexed loads off the interned
+	// graph core — and reused by every later stage.
 	type cand struct {
-		node *linegraph.HomologousNode
-		gc   float64
+		node    *linegraph.HomologousNode
+		members []*kg.Triple
+		vals    [][]string // vals[i] = {members[i].Object}
+		gc      float64
 	}
 	cands := make([]cand, 0, len(candidates))
 	anyAbove := false
 	for _, n := range candidates {
+		members := sg.MemberTriples(n)
+		vals := make([][]string, len(members))
+		for i, t := range members {
+			vals[i] = []string{t.Object}
+		}
 		// C(G) is reported through the Assessment, never written back to the
 		// node: homologous nodes are shared across serving snapshots and must
 		// stay immutable under concurrent queries.
-		gc := m.graphConfidence(sg, n)
+		gc := GraphConfidence(vals)
 		if gc >= m.cfg.GraphThreshold {
 			anyAbove = true
 		}
-		cands = append(cands, cand{n, gc})
+		cands = append(cands, cand{n, members, vals, gc})
 	}
 	for _, c := range cands {
 		a := Assessment{Node: c.node, GraphConfidence: c.gc, NodeConfidence: map[string]float64{}}
-		members := sg.MemberTriples(c.node)
+		members := c.members
 		switch {
 		case !opts.DisableGraphLevel && anyAbove && c.gc < m.cfg.GraphThreshold:
 			// Coarse elimination: a more consistent alternative exists.
@@ -175,7 +184,7 @@ func (m *MCC) Run(sg *linegraph.SG, candidates []*linegraph.HomologousNode, opts
 			}
 		default:
 			// Fine stage: score every member.
-			m.scoreMembers(sg, c.node, members, &a)
+			m.scoreMembers(sg, members, c.vals, &a)
 			res.NodesScored += len(members)
 		}
 		m.updateHistory(members, a.Trusted)
@@ -197,19 +206,16 @@ func (m *MCC) AssessIsolated(sg *linegraph.SG, t *kg.Triple, opts Options) Trust
 	return TrustedNode{Triple: t, Confidence: auth * t.Weight, Verified: true}
 }
 
-// graphConfidence computes Eq. (7) over a homologous subgraph's members.
-func (m *MCC) graphConfidence(sg *linegraph.SG, n *linegraph.HomologousNode) float64 {
-	members := sg.MemberTriples(n)
-	values := make([][]string, len(members))
-	for i, t := range members {
-		values[i] = []string{t.Object}
-	}
-	return GraphConfidence(values)
-}
-
 // scoreMembers runs Algorithm 1's Confidence_Computing over each member:
-// C(v) = Sₙ(v) + A(v), filtered by θ.
-func (m *MCC) scoreMembers(sg *linegraph.SG, n *linegraph.HomologousNode, members []*kg.Triple, a *Assessment) {
+// C(v) = Sₙ(v) + A(v), filtered by θ. vals carries each member's value set,
+// resolved once by Run and shared across the peer comparisons below.
+func (m *MCC) scoreMembers(sg *linegraph.SG, members []*kg.Triple, vals [][]string, a *Assessment) {
+	if len(members) == 0 {
+		// A candidate node can resolve to zero live members when the graph
+		// was mutated destructively after the SG was built (perturbation
+		// harness before RebuildSG); there is nothing to score.
+		return
+	}
 	g := sg.Graph()
 	maxDeg := g.MaxDegree()
 	// Raw expert scores, centred before the sigmoid (Eq. 10). Skipped
@@ -231,15 +237,13 @@ func (m *MCC) scoreMembers(sg *linegraph.SG, n *linegraph.HomologousNode, member
 		}
 		mean /= float64(len(members))
 	}
+	peerBuf := make([][]string, 0, len(members)-1)
 	for i, t := range members {
-		// Sₙ(v): consistency against peers (Eq. 8).
-		var peers [][]string
-		for j, u := range members {
-			if j != i {
-				peers = append(peers, []string{u.Object})
-			}
-		}
-		sn := NodeConsistency([]string{t.Object}, peers)
+		// Sₙ(v): consistency against peers (Eq. 8). The peer list reuses the
+		// shared value slices instead of materialising O(m²) fresh ones.
+		peers := append(peerBuf[:0], vals[:i]...)
+		peers = append(peers, vals[i+1:]...)
+		sn := NodeConsistency(vals[i], peers)
 		// A(v) = α·Auth_LLM + (1−α)·Auth_hist (Eq. 9), skipping whichever
 		// component has zero weight (this is what makes α sweep query time,
 		// Fig. 7).

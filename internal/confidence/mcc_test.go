@@ -300,3 +300,32 @@ func TestMajorityCluster(t *testing.T) {
 		t.Fatalf("majority cluster size = %d, want 2", len(got))
 	}
 }
+
+// TestRunStaleNodeNoMembers pins the stale-SG edge: a candidate node whose
+// member triples were all removed from the graph after the SG was built (the
+// perturbation flow before RebuildSG) must score cleanly as an empty
+// assessment instead of panicking, under every ablation combination.
+func TestRunStaleNodeNoMembers(t *testing.T) {
+	g, sg := caseStudyGraph(t)
+	node, _ := sg.Lookup(kg.CanonicalID("CA981"), "status")
+	for _, id := range append([]string{}, node.Members...) {
+		if !g.RemoveTriple(id) {
+			t.Fatalf("could not remove member %s", id)
+		}
+	}
+	for _, opts := range []Options{
+		{},
+		{DisableGraphLevel: true},
+		{DisableNodeLevel: true},
+		{DisableGraphLevel: true, DisableNodeLevel: true},
+	} {
+		m := newMCC(DefaultConfig())
+		res := m.Run(sg, []*linegraph.HomologousNode{node}, opts)
+		if len(res.SVs) != 0 || len(res.LVs) != 0 {
+			t.Fatalf("opts %+v: stale node produced evidence: %+v", opts, res)
+		}
+		if len(res.Assessments) != 1 {
+			t.Fatalf("opts %+v: assessments = %d, want 1", opts, len(res.Assessments))
+		}
+	}
+}

@@ -104,11 +104,11 @@ func (s *System) gatherEvidence(sn *snapshot, query, entity, relation string) (e
 	}
 	// Nested attributes flatten to underscore-joined paths
 	// (status → status_state); include them as alternative candidates.
-	for key, n := range sn.sg.Nodes {
+	sn.sg.ForEachNode(func(_ string, n *linegraph.HomologousNode) {
 		if n.SubjectID == subj && n.Name != relation && strings.HasPrefix(n.Name, relation+"_") {
-			candidates = append(candidates, sn.sg.Nodes[key])
+			candidates = append(candidates, n)
 		}
-	}
+	})
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Key < candidates[j].Key })
 
 	// Stage 1 snapshot: everything the candidate subgraphs contain.

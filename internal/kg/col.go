@@ -1,0 +1,151 @@
+package kg
+
+// Copy-on-write paged columns: the storage primitive of the interned graph
+// core. A column is a dense array indexed by an int32 handle, split into
+// fixed-size pages. Clone copies only the page-pointer table (O(n/pageSize))
+// and marks every page shared on both sides; the first write a graph makes to
+// a shared page copies that one page. An ingest commit therefore pays for the
+// pages its delta touches — the tail of each column plus any rows it
+// overwrites — never for the whole corpus.
+//
+// Columns are not safe for concurrent mutation (the Graph contract); clones
+// may be read concurrently with each other and with a Clone call, because a
+// graph's writes only ever land in pages it privately owns and Clone touches
+// nothing a reader loads.
+
+const (
+	pageBits = 9 // 512 rows per page
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// col is a COW paged column of scalar values (pointers, handles, strings).
+type col[T any] struct {
+	pages [][]T
+	owned []bool // owned[p]: page p was allocated/copied after the last clone
+	n     int
+}
+
+func (c *col[T]) len() int { return c.n }
+
+// get returns the value at handle i. The caller guarantees 0 <= i < len.
+func (c *col[T]) get(i int32) T { return c.pages[i>>pageBits][i&pageMask] }
+
+// append adds a value at the next handle and returns that handle.
+func (c *col[T]) append(v T) int32 {
+	p := c.n >> pageBits
+	if p == len(c.pages) {
+		c.pages = append(c.pages, make([]T, pageSize))
+		c.owned = append(c.owned, true)
+	} else if !c.owned[p] {
+		c.privatize(p)
+	}
+	c.pages[p][c.n&pageMask] = v
+	c.n++
+	return int32(c.n - 1)
+}
+
+// set overwrites the value at handle i, copying the page first if it is
+// shared with another clone.
+func (c *col[T]) set(i int32, v T) {
+	p := int(i) >> pageBits
+	if !c.owned[p] {
+		c.privatize(p)
+	}
+	c.pages[p][i&pageMask] = v
+}
+
+func (c *col[T]) privatize(p int) {
+	np := make([]T, pageSize)
+	copy(np, c.pages[p])
+	c.pages[p] = np
+	c.owned[p] = true
+}
+
+// clone returns a column sharing every page with c. Both sides drop ownership
+// of all pages, so whichever graph writes next copies the page it touches.
+// Resetting c's owned flags is safe under concurrent readers: readers only
+// load pages and n, never ownership metadata.
+func (c *col[T]) clone() col[T] {
+	pages := make([][]T, len(c.pages))
+	copy(pages, c.pages)
+	for i := range c.owned {
+		c.owned[i] = false
+	}
+	return col[T]{pages: pages, owned: make([]bool, len(pages)), n: c.n}
+}
+
+// forEach visits every row in handle order.
+func (c *col[T]) forEach(fn func(i int32, v T)) {
+	for i := 0; i < c.n; i++ {
+		fn(int32(i), c.pages[i>>pageBits][i&pageMask])
+	}
+}
+
+// postingCol is a COW paged column of posting lists ([]int32 per row), used
+// for the bySubject/byObject/byPredicate adjacency indexes. It differs from
+// col[[]int32] in two ways: rows materialise lazily (an entity with no
+// triples costs nothing), and privatizing a page clips every list in it so a
+// later append reallocates instead of writing into a backing array another
+// clone still reads.
+type postingCol struct {
+	pages [][][]int32
+	owned []bool
+	n     int
+}
+
+// get returns the posting list at handle i (nil when the row was never
+// touched). The result is shared storage: callers must not mutate it.
+func (pc *postingCol) get(i int32) []int32 {
+	if int(i) >= pc.n {
+		return nil
+	}
+	return pc.pages[i>>pageBits][i&pageMask]
+}
+
+// appendTo appends v to the posting list at handle i, extending the column
+// as needed.
+func (pc *postingCol) appendTo(i, v int32) {
+	p := pc.ensure(i)
+	pc.pages[p][i&pageMask] = append(pc.pages[p][i&pageMask], v)
+}
+
+// set replaces the posting list at handle i. The caller passes a list it
+// owns (freshly built); used by triple removal.
+func (pc *postingCol) set(i int32, lst []int32) {
+	p := pc.ensure(i)
+	pc.pages[p][i&pageMask] = lst
+}
+
+func (pc *postingCol) ensure(i int32) int {
+	p := int(i) >> pageBits
+	for p >= len(pc.pages) {
+		pc.pages = append(pc.pages, make([][]int32, pageSize))
+		pc.owned = append(pc.owned, true)
+	}
+	if !pc.owned[p] {
+		pc.privatize(p)
+	}
+	if int(i) >= pc.n {
+		pc.n = int(i) + 1
+	}
+	return p
+}
+
+func (pc *postingCol) privatize(p int) {
+	np := make([][]int32, pageSize)
+	for j, s := range pc.pages[p] {
+		np[j] = s[:len(s):len(s)] // clip: appends must reallocate
+	}
+	pc.pages[p] = np
+	pc.owned[p] = true
+}
+
+func (pc *postingCol) clone() postingCol {
+	pages := make([][][]int32, len(pc.pages))
+	copy(pages, pc.pages)
+	for i := range pc.owned {
+		pc.owned[i] = false
+	}
+	return postingCol{pages: pages, owned: make([]bool, len(pages)), n: pc.n}
+}

@@ -2,6 +2,16 @@
 // relations and provenance-carrying triples with adjacency indexes, traversal
 // and subgraph extraction. The multi-source line graph (internal/linegraph)
 // and the confidence machinery (internal/confidence) are built on top of it.
+//
+// Internally the graph is an interned, columnar store: entity IDs and
+// predicates are interned to dense int32 handles once at insertion, triples
+// live in copy-on-write paged columns addressed by handle (a triple's handle
+// is derivable from its "tNNNNNN" ID without any map), and the four adjacency
+// indexes are []int32 posting lists. Clone is a copy-on-write snapshot that
+// shares immutable pages and copies only what a later mutation touches, so an
+// ingest commit costs O(delta) instead of O(corpus). The string-keyed API
+// below is a thin compat layer over the handles; hot paths (linegraph,
+// confidence) use the handle-level API in handles.go directly.
 package kg
 
 import (
@@ -44,56 +54,132 @@ func (t *Triple) Key() string { return t.Subject + "\x00" + t.Predicate }
 func CanonicalID(name string) string { return textutil.NormalizeValue(name) }
 
 // Graph is the mutable in-memory knowledge graph. It is not safe for
-// concurrent mutation; benchmark code builds graphs single-threaded and then
-// queries them read-only.
+// concurrent mutation; the serving engine mutates only fresh Clones and
+// publishes them as immutable snapshots, which any number of readers may
+// query concurrently (including concurrently with a Clone call).
 type Graph struct {
-	entities map[string]*Entity
-	triples  map[string]*Triple
+	ents      col[*Entity] // entity handle → entity (replaced, never mutated, on upgrade)
+	entLookup cowStr       // canonical entity ID → entity handle
 
-	bySubject     map[string][]string // entity ID → triple IDs
-	byObject      map[string][]string // object entity ID → triple IDs
-	byKey         map[string][]string // Triple.Key() → triple IDs
-	byPredicate   map[string][]string
-	tripleCounter int
+	preds      col[string] // predicate handle → predicate
+	predLookup cowStr      // predicate → predicate handle
+
+	trs   col[*Triple] // triple handle → triple, nil when removed
+	tSubj col[int32]   // triple handle → subject entity handle
+	tObj  col[int32]   // triple handle → object entity handle, -1 for literals
+	tPred col[int32]   // triple handle → predicate handle
+
+	bySubject postingCol     // entity handle → handles of triples with that subject
+	byObject  postingCol     // entity handle → handles of triples linking it as object
+	byPred    postingCol     // predicate handle → triple handles
+	byKey     cowKeyPostings // packed (subject, predicate) handles → triple handles
+
+	liveTriples int
+	// degCount[d] counts entities of degree d (d ≥ 1) and maxDeg is the
+	// largest degree with a nonzero count; both are maintained in O(1) per
+	// Add/RemoveTriple so MaxDegree is a plain read for concurrent queries.
+	degCount []int
+	maxDeg   int
 }
 
 // New returns an empty graph.
-func New() *Graph {
-	return &Graph{
-		entities:    map[string]*Entity{},
-		triples:     map[string]*Triple{},
-		bySubject:   map[string][]string{},
-		byObject:    map[string][]string{},
-		byKey:       map[string][]string{},
-		byPredicate: map[string][]string{},
+func New() *Graph { return &Graph{} }
+
+// tripleIDString formats the ID of the n-th inserted triple ("t%06d" without
+// the fmt machinery — this runs once per triple on the hottest write path).
+func tripleIDString(n int32) string {
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
 	}
+	for len(buf)-i < 6 {
+		i--
+		buf[i] = '0'
+	}
+	i--
+	buf[i] = 't'
+	return string(buf[i:])
+}
+
+// ParseTripleID inverts tripleIDString: it returns the handle of the triple
+// with the given ID. It accepts exactly the canonical form ("t" + ≥6 digits,
+// no excess zero padding) so non-canonical spellings of a number cannot alias
+// an existing triple.
+func ParseTripleID(id string) (int32, bool) {
+	if len(id) < 7 || id[0] != 't' {
+		return 0, false
+	}
+	if len(id) > 7 && id[1] == '0' {
+		return 0, false
+	}
+	n := 0
+	for i := 1; i < len(id); i++ {
+		c := id[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return 0, false
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return int32(n - 1), true
+}
+
+func packKey(subjH, predH int32) uint64 {
+	return uint64(uint32(subjH))<<32 | uint64(uint32(predH))
 }
 
 // AddEntity inserts (or upgrades) an entity and returns its canonical ID.
-// Re-adding an entity keeps the first non-empty Type/Domain seen.
+// Re-adding an entity keeps the first non-empty Type/Domain seen. An upgrade
+// installs a fresh *Entity rather than mutating the stored one, so entities
+// reachable from published snapshots never change under a reader.
 func (g *Graph) AddEntity(name, typ, domain string) string {
 	id := CanonicalID(name)
 	if id == "" {
 		return ""
 	}
-	if e, ok := g.entities[id]; ok {
-		if e.Type == "" {
-			e.Type = typ
-		}
-		if e.Domain == "" {
-			e.Domain = domain
+	if h, ok := g.entLookup.get(id); ok {
+		e := g.ents.get(h)
+		if (e.Type == "" && typ != "") || (e.Domain == "" && domain != "") {
+			ne := *e
+			if ne.Type == "" {
+				ne.Type = typ
+			}
+			if ne.Domain == "" {
+				ne.Domain = domain
+			}
+			g.ents.set(h, &ne)
 		}
 		return id
 	}
-	g.entities[id] = &Entity{ID: id, Name: name, Type: typ, Domain: domain}
+	h := g.ents.append(&Entity{ID: id, Name: name, Type: typ, Domain: domain})
+	g.entLookup.put(id, h)
 	return id
 }
 
+func (g *Graph) internPred(p string) int32 {
+	if h, ok := g.predLookup.get(p); ok {
+		return h
+	}
+	h := g.preds.append(p)
+	g.predLookup.put(p, h)
+	return h
+}
+
 // AddTriple inserts a triple. The subject entity must already exist; the
-// object is linked as an entity when its canonical form is a known entity.
+// object is linked as an entity when its canonical form is a known entity (a
+// pre-set ObjectEntity is honoured only when it names a known entity).
 // It returns the assigned triple ID.
 func (g *Graph) AddTriple(t Triple) (string, error) {
-	if _, ok := g.entities[t.Subject]; !ok {
+	subjH, ok := g.entLookup.get(t.Subject)
+	if !ok {
 		return "", fmt.Errorf("kg: unknown subject entity %q", t.Subject)
 	}
 	if t.Predicate == "" {
@@ -102,125 +188,186 @@ func (g *Graph) AddTriple(t Triple) (string, error) {
 	if t.Weight == 0 {
 		t.Weight = 1
 	}
-	g.tripleCounter++
-	t.ID = fmt.Sprintf("t%06d", g.tripleCounter)
-	if t.ObjectEntity == "" {
-		if oid := CanonicalID(t.Object); oid != "" {
-			if _, ok := g.entities[oid]; ok {
-				t.ObjectEntity = oid
-			}
+	objH := int32(-1)
+	if t.ObjectEntity != "" {
+		if h, ok := g.entLookup.get(t.ObjectEntity); ok {
+			objH = h
+		}
+	} else if oid := CanonicalID(t.Object); oid != "" {
+		if h, ok := g.entLookup.get(oid); ok {
+			t.ObjectEntity = oid
+			objH = h
 		}
 	}
+	t.ID = tripleIDString(int32(g.trs.len() + 1))
 	tc := t
-	g.triples[tc.ID] = &tc
-	g.bySubject[tc.Subject] = append(g.bySubject[tc.Subject], tc.ID)
-	g.byKey[tc.Key()] = append(g.byKey[tc.Key()], tc.ID)
-	g.byPredicate[tc.Predicate] = append(g.byPredicate[tc.Predicate], tc.ID)
-	if tc.ObjectEntity != "" {
-		g.byObject[tc.ObjectEntity] = append(g.byObject[tc.ObjectEntity], tc.ID)
+	h := g.trs.append(&tc)
+	predH := g.internPred(tc.Predicate)
+	g.tSubj.append(subjH)
+	g.tObj.append(objH)
+	g.tPred.append(predH)
+	g.bySubject.appendTo(subjH, h)
+	g.byKey.appendTo(packKey(subjH, predH), h)
+	g.byPred.appendTo(predH, h)
+	if objH >= 0 {
+		g.byObject.appendTo(objH, h)
+	}
+	g.liveTriples++
+	if objH >= 0 && objH != subjH {
+		g.bumpDegree(g.degreeH(subjH)-1, g.degreeH(subjH))
+		g.bumpDegree(g.degreeH(objH)-1, g.degreeH(objH))
+	} else if objH == subjH {
+		g.bumpDegree(g.degreeH(subjH)-2, g.degreeH(subjH)) // self-loop: +2 on one entity
+	} else {
+		g.bumpDegree(g.degreeH(subjH)-1, g.degreeH(subjH))
 	}
 	return tc.ID, nil
 }
 
+// bumpDegree moves one entity from degree old to degree new in the degree
+// histogram and keeps maxDeg in sync. O(1) amortised.
+func (g *Graph) bumpDegree(old, new int) {
+	if old > 0 {
+		g.degCount[old]--
+	}
+	if new > 0 {
+		for len(g.degCount) <= new {
+			g.degCount = append(g.degCount, 0)
+		}
+		g.degCount[new]++
+		if new > g.maxDeg {
+			g.maxDeg = new
+		}
+	}
+	for g.maxDeg > 0 && g.degCount[g.maxDeg] == 0 {
+		g.maxDeg--
+	}
+}
+
 // RemoveTriple deletes a triple by ID; it is used by the perturbation
 // machinery (relation masking). Removing an unknown ID is a no-op returning
-// false.
+// false. The triple's handle is never reused, keeping IDs unique and monotone
+// across the graph's lifetime.
 func (g *Graph) RemoveTriple(id string) bool {
-	t, ok := g.triples[id]
-	if !ok {
+	h, ok := ParseTripleID(id)
+	if !ok || int(h) >= g.trs.len() {
 		return false
 	}
-	delete(g.triples, id)
-	g.bySubject[t.Subject] = removeID(g.bySubject[t.Subject], id)
-	g.byKey[t.Key()] = removeID(g.byKey[t.Key()], id)
-	g.byPredicate[t.Predicate] = removeID(g.byPredicate[t.Predicate], id)
-	if t.ObjectEntity != "" {
-		g.byObject[t.ObjectEntity] = removeID(g.byObject[t.ObjectEntity], id)
+	t := g.trs.get(h)
+	if t == nil {
+		return false
+	}
+	subjH, objH, predH := g.tSubj.get(h), g.tObj.get(h), g.tPred.get(h)
+	g.trs.set(h, nil)
+	g.liveTriples--
+	g.bySubject.set(subjH, removeHandle(g.bySubject.get(subjH), h))
+	g.byPred.set(predH, removeHandle(g.byPred.get(predH), h))
+	if objH >= 0 {
+		g.byObject.set(objH, removeHandle(g.byObject.get(objH), h))
+	}
+	kh := packKey(subjH, predH)
+	if lst, ok := g.byKey.get(kh); ok {
+		g.byKey.put(kh, removeHandle(lst, h))
+	}
+	if objH >= 0 && objH != subjH {
+		g.bumpDegree(g.degreeH(subjH)+1, g.degreeH(subjH))
+		g.bumpDegree(g.degreeH(objH)+1, g.degreeH(objH))
+	} else if objH == subjH {
+		g.bumpDegree(g.degreeH(subjH)+2, g.degreeH(subjH))
+	} else {
+		g.bumpDegree(g.degreeH(subjH)+1, g.degreeH(subjH))
 	}
 	return true
 }
 
-func removeID(ids []string, id string) []string {
-	for i, v := range ids {
-		if v == id {
-			return append(ids[:i], ids[i+1:]...)
+// removeHandle returns lst without the first occurrence of h, never mutating
+// the input (the old list may still be visible through a shared snapshot).
+func removeHandle(lst []int32, h int32) []int32 {
+	for i, v := range lst {
+		if v == h {
+			out := make([]int32, 0, len(lst)-1)
+			out = append(out, lst[:i]...)
+			return append(out, lst[i+1:]...)
 		}
 	}
-	return ids
+	return lst
 }
 
-// Clone returns a deep copy of the graph: entities, triples and every
-// adjacency index are copied, so mutating the clone (or the original) never
-// affects the other. The triple counter carries over, keeping triple IDs
-// unique and monotone across clone generations — the property the
-// incremental line-graph maintenance relies on. The write path of the
-// serving engine clones the current graph before applying a batch, leaving
-// published snapshots immutable.
+// Clone returns a copy-on-write snapshot of the graph: both sides share every
+// column page, posting list and interner base, and whichever side mutates
+// first copies only the pages and lists it touches. Cloning costs
+// O(corpus / pageSize) pointer copies plus the interner tails — effectively
+// O(delta accumulated since the previous clone) — instead of the deep
+// O(corpus) copy it replaces. Triple handles (and therefore IDs) stay unique
+// and monotone across clone generations — the property the incremental
+// line-graph maintenance relies on. The write path of the serving engine
+// clones the current graph before applying a batch, leaving published
+// snapshots immutable; mutating either side never changes any observable of
+// the other.
 func (g *Graph) Clone() *Graph {
-	ng := &Graph{
-		entities:      make(map[string]*Entity, len(g.entities)),
-		triples:       make(map[string]*Triple, len(g.triples)),
-		bySubject:     cloneIDIndex(g.bySubject),
-		byObject:      cloneIDIndex(g.byObject),
-		byKey:         cloneIDIndex(g.byKey),
-		byPredicate:   cloneIDIndex(g.byPredicate),
-		tripleCounter: g.tripleCounter,
-	}
-	for id, e := range g.entities {
-		ce := *e
-		ng.entities[id] = &ce
-	}
-	for id, t := range g.triples {
-		ct := *t
-		ng.triples[id] = &ct
-	}
-	return ng
-}
+	return &Graph{
+		ents:       g.ents.clone(),
+		entLookup:  g.entLookup.clone(),
+		preds:      g.preds.clone(),
+		predLookup: g.predLookup.clone(),
+		trs:        g.trs.clone(),
+		tSubj:      g.tSubj.clone(),
+		tObj:       g.tObj.clone(),
+		tPred:      g.tPred.clone(),
+		bySubject:  g.bySubject.clone(),
+		byObject:   g.byObject.clone(),
+		byPred:     g.byPred.clone(),
+		byKey:      g.byKey.clone(),
 
-func cloneIDIndex(m map[string][]string) map[string][]string {
-	out := make(map[string][]string, len(m))
-	for k, ids := range m {
-		cp := make([]string, len(ids))
-		copy(cp, ids)
-		out[k] = cp
+		liveTriples: g.liveTriples,
+		degCount:    append([]int(nil), g.degCount...),
+		maxDeg:      g.maxDeg,
 	}
-	return out
 }
 
 // Entity returns the entity with the given canonical ID.
 func (g *Graph) Entity(id string) (*Entity, bool) {
-	e, ok := g.entities[id]
-	return e, ok
+	h, ok := g.entLookup.get(id)
+	if !ok {
+		return nil, false
+	}
+	return g.ents.get(h), true
 }
 
 // Triple returns the triple with the given ID.
 func (g *Graph) Triple(id string) (*Triple, bool) {
-	t, ok := g.triples[id]
-	return t, ok
+	h, ok := ParseTripleID(id)
+	if !ok || int(h) >= g.trs.len() {
+		return nil, false
+	}
+	t := g.trs.get(h)
+	return t, t != nil
 }
 
 // NumEntities returns the entity count.
-func (g *Graph) NumEntities() int { return len(g.entities) }
+func (g *Graph) NumEntities() int { return g.ents.len() }
 
 // NumTriples returns the triple (relation instance) count.
-func (g *Graph) NumTriples() int { return len(g.triples) }
+func (g *Graph) NumTriples() int { return g.liveTriples }
 
 // EntityIDs returns all canonical entity IDs, sorted.
 func (g *Graph) EntityIDs() []string {
-	ids := make([]string, 0, len(g.entities))
-	for id := range g.entities {
-		ids = append(ids, id)
-	}
+	ids := make([]string, 0, g.ents.len())
+	g.ents.forEach(func(_ int32, e *Entity) {
+		ids = append(ids, e.ID)
+	})
 	sort.Strings(ids)
 	return ids
 }
 
 // TripleIDs returns all triple IDs, sorted.
 func (g *Graph) TripleIDs() []string {
-	ids := make([]string, 0, len(g.triples))
-	for id := range g.triples {
-		ids = append(ids, id)
-	}
+	ids := make([]string, 0, g.liveTriples)
+	g.trs.forEach(func(_ int32, t *Triple) {
+		if t != nil {
+			ids = append(ids, t.ID)
+		}
+	})
 	sort.Strings(ids)
 	return ids
 }
@@ -228,75 +375,131 @@ func (g *Graph) TripleIDs() []string {
 // TriplesBySubject returns the triples whose subject is the given entity, in
 // insertion order.
 func (g *Graph) TriplesBySubject(entityID string) []*Triple {
-	return g.resolve(g.bySubject[entityID])
+	h, ok := g.entLookup.get(entityID)
+	if !ok {
+		return []*Triple{}
+	}
+	return g.resolve(g.bySubject.get(h))
 }
 
 // TriplesByKey returns the triples sharing a (subject, predicate) key — the
 // raw material of a homologous subgraph.
 func (g *Graph) TriplesByKey(subjectID, predicate string) []*Triple {
-	return g.resolve(g.byKey[subjectID+"\x00"+predicate])
+	subjH, ok := g.entLookup.get(subjectID)
+	if !ok {
+		return []*Triple{}
+	}
+	predH, ok := g.predLookup.get(predicate)
+	if !ok {
+		return []*Triple{}
+	}
+	lst, _ := g.byKey.get(packKey(subjH, predH))
+	return g.resolve(lst)
 }
 
 // TriplesByRawKey is TriplesByKey for a precomputed Triple.Key() value.
 func (g *Graph) TriplesByRawKey(key string) []*Triple {
-	return g.resolve(g.byKey[key])
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			return g.TriplesByKey(key[:i], key[i+1:])
+		}
+	}
+	return []*Triple{}
 }
 
 // TriplesByPredicate returns all triples carrying the given predicate.
 func (g *Graph) TriplesByPredicate(pred string) []*Triple {
-	return g.resolve(g.byPredicate[pred])
+	h, ok := g.predLookup.get(pred)
+	if !ok {
+		return []*Triple{}
+	}
+	return g.resolve(g.byPred.get(h))
 }
 
 // TriplesByObjectEntity returns the triples whose object resolves to the
 // given entity.
 func (g *Graph) TriplesByObjectEntity(entityID string) []*Triple {
-	return g.resolve(g.byObject[entityID])
+	h, ok := g.entLookup.get(entityID)
+	if !ok {
+		return []*Triple{}
+	}
+	return g.resolve(g.byObject.get(h))
 }
 
-func (g *Graph) resolve(ids []string) []*Triple {
-	out := make([]*Triple, 0, len(ids))
-	for _, id := range ids {
-		if t, ok := g.triples[id]; ok {
+func (g *Graph) resolve(handles []int32) []*Triple {
+	out := make([]*Triple, 0, len(handles))
+	for _, h := range handles {
+		if t := g.trs.get(h); t != nil {
 			out = append(out, t)
 		}
 	}
 	return out
 }
 
+func (g *Graph) degreeH(entH int32) int {
+	return len(g.bySubject.get(entH)) + len(g.byObject.get(entH))
+}
+
 // Degree returns the number of triples incident on an entity (as subject or
 // object).
 func (g *Graph) Degree(entityID string) int {
-	return len(g.bySubject[entityID]) + len(g.byObject[entityID])
+	h, ok := g.entLookup.get(entityID)
+	if !ok {
+		return 0
+	}
+	return g.degreeH(h)
 }
 
 // MaxDegree returns the maximum entity degree in the graph (0 when empty).
-func (g *Graph) MaxDegree() int {
-	max := 0
-	for id := range g.entities {
-		if d := g.Degree(id); d > max {
-			max = d
+// It is maintained through the degree histogram in O(1) per mutation, so
+// reading it is a plain load and safe under concurrent readers.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// neighborHandles returns the handles of entities one hop from entH, sorted
+// by handle and deduplicated.
+func (g *Graph) neighborHandles(entH int32) []int32 {
+	var hs []int32
+	for _, th := range g.bySubject.get(entH) {
+		if o := g.tObj.get(th); o >= 0 && o != entH {
+			hs = append(hs, o)
 		}
 	}
-	return max
+	for _, th := range g.byObject.get(entH) {
+		if s := g.tSubj.get(th); s != entH {
+			hs = append(hs, s)
+		}
+	}
+	sortCompactHandles(&hs)
+	return hs
+}
+
+// sortCompactHandles sorts hs and removes duplicates in place.
+func sortCompactHandles(hs *[]int32) {
+	s := *hs
+	if len(s) < 2 {
+		return
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	*hs = out
 }
 
 // Neighbors returns the canonical IDs of entities one hop from entityID
 // (through triples in either direction), sorted and deduplicated.
 func (g *Graph) Neighbors(entityID string) []string {
-	seen := map[string]bool{}
-	for _, t := range g.TriplesBySubject(entityID) {
-		if t.ObjectEntity != "" && t.ObjectEntity != entityID {
-			seen[t.ObjectEntity] = true
-		}
+	h, ok := g.entLookup.get(entityID)
+	if !ok {
+		return []string{}
 	}
-	for _, t := range g.TriplesByObjectEntity(entityID) {
-		if t.Subject != entityID {
-			seen[t.Subject] = true
-		}
-	}
-	out := make([]string, 0, len(seen))
-	for id := range seen {
-		out = append(out, id)
+	hs := g.neighborHandles(h)
+	out := make([]string, 0, len(hs))
+	for _, nh := range hs {
+		out = append(out, g.ents.get(nh).ID)
 	}
 	sort.Strings(out)
 	return out

@@ -199,6 +199,17 @@ func TestComputeStats(t *testing.T) {
 	}
 }
 
+// removeID drops the first occurrence of id from ids (test helper; the
+// production code works on int32 handle lists, see removeHandle).
+func removeID(ids []string, id string) []string {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
 // Property: after arbitrary add/remove interleavings, every index entry
 // resolves to a live triple and counts agree.
 func TestIndexConsistencyProperty(t *testing.T) {

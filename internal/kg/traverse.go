@@ -6,7 +6,7 @@ import "sort"
 // maxDepth hops (maxDepth < 0 means unbounded) and returns the visit order.
 // The start entity is included at depth 0.
 func (g *Graph) BFS(start string, maxDepth int) []string {
-	if _, ok := g.entities[start]; !ok {
+	if _, ok := g.entLookup.get(start); !ok {
 		return nil
 	}
 	type item struct {
@@ -36,7 +36,7 @@ func (g *Graph) BFS(start string, maxDepth int) []string {
 // DFS visits entities reachable from start in depth-first order (used for
 // semi-structured tree retrieval per §III-B) and returns the visit order.
 func (g *Graph) DFS(start string) []string {
-	if _, ok := g.entities[start]; !ok {
+	if _, ok := g.entLookup.get(start); !ok {
 		return nil
 	}
 	visited := map[string]bool{}
@@ -84,21 +84,39 @@ func (g *Graph) SubgraphAround(center string, depth int) Subgraph {
 // other neighbours that are also connected to the triple's object entity —
 // the "multi-step path information" feature fed to the authority judge. For
 // literal objects it returns the share of sibling triples that agree with the
-// value.
+// value. Both cases run on interned handles: neighbour sets are sorted
+// []int32 slices intersected by a merge walk, and siblings come straight off
+// the (subject, predicate) key posting — no string keys are rebuilt.
 func (g *Graph) TwoHopPathSupport(t *Triple) float64 {
 	if t.ObjectEntity != "" {
-		neigh := g.Neighbors(t.Subject)
+		subjH, ok := g.entLookup.get(t.Subject)
+		if !ok {
+			return 0
+		}
+		objH, ok := g.entLookup.get(t.ObjectEntity)
+		if !ok {
+			return 0
+		}
+		neigh := g.neighborHandles(subjH)
 		if len(neigh) <= 1 {
 			return 0
 		}
-		objNeigh := map[string]bool{}
-		for _, n := range g.Neighbors(t.ObjectEntity) {
-			objNeigh[n] = true
-		}
-		hits := 0
-		for _, n := range neigh {
-			if n != t.ObjectEntity && objNeigh[n] {
-				hits++
+		objNeigh := g.neighborHandles(objH)
+		// Merge-walk intersection of the two sorted handle sets, skipping the
+		// object entity itself.
+		hits, i, j := 0, 0, 0
+		for i < len(neigh) && j < len(objNeigh) {
+			switch {
+			case neigh[i] < objNeigh[j]:
+				i++
+			case neigh[i] > objNeigh[j]:
+				j++
+			default:
+				if neigh[i] != objH {
+					hits++
+				}
+				i++
+				j++
 			}
 		}
 		return float64(hits) / float64(len(neigh)-1)
@@ -129,17 +147,20 @@ type Stats struct {
 func (g *Graph) ComputeStats() Stats {
 	sources := map[string]bool{}
 	domains := map[string]bool{}
-	for _, t := range g.triples {
+	g.trs.forEach(func(_ int32, t *Triple) {
+		if t == nil {
+			return
+		}
 		if t.Source != "" {
 			sources[t.Source] = true
 		}
 		if t.Domain != "" {
 			domains[t.Domain] = true
 		}
-	}
+	})
 	return Stats{
-		Entities: len(g.entities),
-		Triples:  len(g.triples),
+		Entities: g.NumEntities(),
+		Triples:  g.NumTriples(),
 		Sources:  len(sources),
 		Domains:  len(domains),
 	}

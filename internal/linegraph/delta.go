@@ -1,8 +1,6 @@
 package linegraph
 
 import (
-	"sort"
-
 	"multirag/internal/kg"
 )
 
@@ -12,12 +10,14 @@ import (
 // only the (subject, predicate) keys the delta intersects.
 //
 // Untouched homologous nodes are shared by pointer with prev — they are
-// immutable once published — so the cost of one call is O(|delta| + K log K)
-// where K is the number of affected keys, instead of Build's O(|corpus|).
+// immutable once published — so the cost of one call is O(|delta|): the two
+// key indexes are copy-on-write overlays whose clone copies only the tail of
+// keys recent deltas touched (amortised by flattening, see overlay.go), and
+// the sorted isolated-point list is no longer rebuilt and re-sorted per
+// batch — it materialises lazily on the first IsolatedIDs call (see SG).
 // Repeated ingestion therefore costs O(n) total line-graph work rather than
-// the O(n²) of rebuilding from scratch each batch. The two top-level maps and
-// the isolated-point set are reassembled per call (O(#keys) pointer copies),
-// keeping prev fully usable by concurrent readers.
+// the O(n²) of rebuilding from scratch each batch, and prev stays fully
+// usable by concurrent readers.
 //
 // A nil prev falls back to a full Build. Triple removal is not expressible as
 // a delta; callers that mutate the graph destructively rebuild from scratch.
@@ -26,15 +26,9 @@ func BuildDelta(prev *SG, g *kg.Graph, newTripleIDs []string) *SG {
 		return Build(g)
 	}
 	sg := &SG{
-		Nodes:         make(map[string]*HomologousNode, len(prev.Nodes)),
-		byKeyIsolated: make(map[string]string, len(prev.byKeyIsolated)),
-		graph:         g,
-	}
-	for k, n := range prev.Nodes {
-		sg.Nodes[k] = n
-	}
-	for k, id := range prev.byKeyIsolated {
-		sg.byKeyIsolated[k] = id
+		nodes:    prev.nodes.clone(),
+		isoIndex: prev.isoIndex.clone(),
+		graph:    g,
 	}
 	affected := map[string]bool{}
 	for _, id := range newTripleIDs {
@@ -44,22 +38,17 @@ func BuildDelta(prev *SG, g *kg.Graph, newTripleIDs []string) *SG {
 	}
 	for key := range affected {
 		members := g.TriplesByRawKey(key)
-		delete(sg.Nodes, key)
-		delete(sg.byKeyIsolated, key)
+		sg.nodes.del(key)
+		sg.isoIndex.del(key)
 		switch {
 		case len(members) == 0:
 			// Key vanished (cannot happen for a pure-addition delta; kept for
 			// robustness).
 		case len(members) == 1:
-			sg.byKeyIsolated[key] = members[0].ID
+			sg.isoIndex.put(key, members[0].ID)
 		default:
-			sg.Nodes[key] = newHomologousNode(key, members)
+			sg.nodes.put(key, newHomologousNode(key, members))
 		}
 	}
-	sg.Isolated = make([]string, 0, len(sg.byKeyIsolated))
-	for _, id := range sg.byKeyIsolated {
-		sg.Isolated = append(sg.Isolated, id)
-	}
-	sort.Strings(sg.Isolated)
 	return sg
 }

@@ -44,26 +44,26 @@ func requireEqualSG(t *testing.T, got, want *SG) {
 	if !reflect.DeepEqual(got.ComputeStats(), want.ComputeStats()) {
 		t.Fatalf("stats diverge: delta=%+v scratch=%+v", got.ComputeStats(), want.ComputeStats())
 	}
-	if !reflect.DeepEqual(got.Isolated, want.Isolated) {
-		t.Fatalf("isolated sets diverge:\n delta   %v\n scratch %v", got.Isolated, want.Isolated)
+	if !reflect.DeepEqual(got.IsolatedIDs(), want.IsolatedIDs()) {
+		t.Fatalf("isolated sets diverge:\n delta   %v\n scratch %v", got.IsolatedIDs(), want.IsolatedIDs())
 	}
-	if len(got.Nodes) != len(want.Nodes) {
-		t.Fatalf("node counts diverge: %d vs %d", len(got.Nodes), len(want.Nodes))
+	if got.NumNodes() != want.NumNodes() {
+		t.Fatalf("node counts diverge: %d vs %d", got.NumNodes(), want.NumNodes())
 	}
-	for key, wn := range want.Nodes {
-		gn, ok := got.Nodes[key]
+	want.ForEachNode(func(key string, wn *HomologousNode) {
+		gn, ok := got.Node(key)
 		if !ok {
 			t.Fatalf("delta SG missing homologous node %q", key)
 		}
 		if !reflect.DeepEqual(gn, wn) {
 			t.Fatalf("node %q diverges:\n delta   %+v\n scratch %+v", key, gn, wn)
 		}
-	}
-	for key := range got.Nodes {
-		if _, ok := want.Nodes[key]; !ok {
+	})
+	got.ForEachNode(func(key string, _ *HomologousNode) {
+		if _, ok := want.Node(key); !ok {
 			t.Fatalf("delta SG has spurious homologous node %q", key)
 		}
-	}
+	})
 }
 
 // TestBuildDeltaMatchesScratch is the incremental-maintenance property test:
@@ -131,7 +131,7 @@ func TestBuildDeltaPromotesIsolated(t *testing.T) {
 func TestBuildDeltaSharesUntouchedNodes(t *testing.T) {
 	g := graphWithConflicts(t)
 	prev := Build(g)
-	untouched := prev.Nodes[kg.CanonicalID("Heat")+"\x00"+"year"]
+	untouched, _ := prev.Node(kg.CanonicalID("Heat") + "\x00" + "year")
 	id, err := g.AddTriple(kg.Triple{
 		Subject: kg.CanonicalID("CA981"), Predicate: "status", Object: "Delayed",
 		Source: "radar", Weight: 0.7,
@@ -140,10 +140,12 @@ func TestBuildDeltaSharesUntouchedNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 	next := BuildDelta(prev, g, []string{id})
-	if next.Nodes[untouched.Key] != untouched {
+	if n, _ := next.Node(untouched.Key); n != untouched {
 		t.Fatal("untouched homologous node was rebuilt instead of shared")
 	}
-	if next.Nodes[kg.CanonicalID("CA981")+"\x00"+"status"] == prev.Nodes[kg.CanonicalID("CA981")+"\x00"+"status"] {
+	nextStatus, _ := next.Node(kg.CanonicalID("CA981") + "\x00" + "status")
+	prevStatus, _ := prev.Node(kg.CanonicalID("CA981") + "\x00" + "status")
+	if nextStatus == prevStatus {
 		t.Fatal("affected homologous node must be rebuilt, not shared")
 	}
 }

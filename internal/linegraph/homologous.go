@@ -2,6 +2,7 @@ package linegraph
 
 import (
 	"sort"
+	"sync"
 
 	"multirag/internal/kg"
 )
@@ -28,56 +29,74 @@ type HomologousNode struct {
 	Weights map[string]float64
 	// Sources lists the distinct sources contributing members, sorted.
 	Sources []string
+
+	// members holds the interned triple handles parallel to Members, so
+	// member resolution is an array index instead of a map lookup.
+	members []int32
 }
 
 // SG is the homologous triple line graph SG′ of Definition 5: every
 // homologous subgraph (one per HomologousNode) plus the isolated triples that
 // have no homologous partner. SG′ is used only for consistency checks and
 // homologous retrieval; all other queries run on the original graph G.
+//
+// Both indexes — key → homologous node and key → isolated triple — are
+// copy-on-write overlays: a frozen base shared with the previous generation
+// plus a private tail of keys the last delta touched, flattened into a fresh
+// base once the tail grows to a constant fraction of it. BuildDelta therefore
+// copies O(|delta|) entries per batch instead of the whole corpus's key
+// space. Access goes through Lookup/Node/ForEachNode/NumNodes.
 type SG struct {
-	// Nodes maps key → homologous node, for all keys with ≥2 members.
-	Nodes map[string]*HomologousNode
-	// Isolated lists triple IDs whose key has a single member, sorted.
-	Isolated []string
-	// byKeyIsolated indexes isolated triples by their key for lookups.
-	byKeyIsolated map[string]string
-	graph         *kg.Graph
+	nodes    overlay[*HomologousNode]
+	isoIndex overlay[string]
+	graph    *kg.Graph
+
+	// isolated is the sorted isolated-triple ID list, materialised lazily on
+	// first IsolatedIDs call (most snapshots never need it; BuildDelta used
+	// to re-sort it on every batch). sync.Once keeps the fill race-free for
+	// concurrent readers of a published snapshot.
+	isoOnce  sync.Once
+	isolated []string
 }
 
 // Build runs homologous subgraph matching (§III-C) over g and assembles SG′.
 //
-// The algorithm follows the paper: initialise the unvisited set to all triple
-// nodes; group nodes by their retrieval key; every group with at least two
-// members forms a homologous subgraph (its line-graph form is the complete
-// graph over the members, Fig. 4); singleton groups go to the isolated point
-// set LVs. Grouping is a single pass with a hash map and the final ordering
-// sort is O(n log n), matching the stated complexity bound.
+// The algorithm follows the paper: group nodes by their retrieval key; every
+// group with at least two members forms a homologous subgraph (its line-graph
+// form is the complete graph over the members, Fig. 4); singleton groups go
+// to the isolated point set LVs. The grouping pass is a single walk over the
+// graph's interned (subject, predicate) key postings — the grouping hash map
+// the string-keyed implementation rebuilt per call already exists inside the
+// graph — and the final per-node ordering sort is O(n log n), matching the
+// stated complexity bound.
 func Build(g *kg.Graph) *SG {
-	sg := &SG{
-		Nodes:         map[string]*HomologousNode{},
-		byKeyIsolated: map[string]string{},
-		graph:         g,
-	}
-	groups := map[string][]*kg.Triple{}
-	for _, id := range g.TripleIDs() {
-		t, _ := g.Triple(id)
-		groups[t.Key()] = append(groups[t.Key()], t)
-	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		members := groups[key]
-		if len(members) < 2 {
-			sg.Isolated = append(sg.Isolated, members[0].ID)
-			sg.byKeyIsolated[key] = members[0].ID
-			continue
+	sg := &SG{graph: g}
+	g.ForEachKeyPosting(func(subjH, predH int32, posting []int32) {
+		switch len(posting) {
+		case 0: // fully-removed key
+		case 1:
+			t := g.TripleAt(posting[0])
+			if t == nil {
+				return
+			}
+			sg.isoIndex.put(t.Key(), t.ID)
+		default:
+			members := make([]*kg.Triple, 0, len(posting))
+			for _, h := range posting {
+				if t := g.TripleAt(h); t != nil {
+					members = append(members, t)
+				}
+			}
+			switch len(members) {
+			case 0:
+			case 1:
+				sg.isoIndex.put(members[0].Key(), members[0].ID)
+			default:
+				key := members[0].Key()
+				sg.nodes.put(key, newHomologousNode(key, members))
+			}
 		}
-		sg.Nodes[key] = newHomologousNode(key, members)
-	}
-	sort.Strings(sg.Isolated)
+	})
 	return sg
 }
 
@@ -101,6 +120,10 @@ func newHomologousNode(key string, members []*kg.Triple) *HomologousNode {
 		srcSet[t.Source] = true
 	}
 	sort.Strings(node.Members)
+	node.members = make([]int32, len(node.Members))
+	for i, id := range node.Members {
+		node.members[i], _ = kg.ParseTripleID(id)
+	}
 	for s := range srcSet {
 		node.Sources = append(node.Sources, s)
 	}
@@ -113,24 +136,59 @@ func (sg *SG) Graph() *kg.Graph { return sg.graph }
 
 // Lookup returns the homologous node for (subject, predicate), if any.
 func (sg *SG) Lookup(subjectID, predicate string) (*HomologousNode, bool) {
-	n, ok := sg.Nodes[subjectID+"\x00"+predicate]
-	return n, ok
+	return sg.nodes.get(subjectID + "\x00" + predicate)
 }
+
+// Node returns the homologous node for a precomputed Triple.Key() value.
+func (sg *SG) Node(key string) (*HomologousNode, bool) { return sg.nodes.get(key) }
+
+// NumNodes returns the number of homologous nodes (keys with ≥2 members).
+func (sg *SG) NumNodes() int { return sg.nodes.n }
+
+// ForEachNode visits every homologous node, in unspecified order.
+func (sg *SG) ForEachNode(fn func(key string, n *HomologousNode)) { sg.nodes.forEach(fn) }
+
+// NumIsolated returns the number of isolated points (single-member keys).
+func (sg *SG) NumIsolated() int { return sg.isoIndex.n }
 
 // LookupIsolated returns the isolated triple for (subject, predicate), if the
 // key exists but has a single member.
 func (sg *SG) LookupIsolated(subjectID, predicate string) (*kg.Triple, bool) {
-	id, ok := sg.byKeyIsolated[subjectID+"\x00"+predicate]
+	id, ok := sg.isoIndex.get(subjectID + "\x00" + predicate)
 	if !ok {
 		return nil, false
 	}
 	return sg.graph.Triple(id)
 }
 
+// IsolatedIDs returns the IDs of triples whose key has a single member,
+// sorted. The list is materialised on first call and cached; the cache fill
+// is synchronised, so concurrent readers of a published SG are safe.
+func (sg *SG) IsolatedIDs() []string {
+	sg.isoOnce.Do(func() {
+		sg.isolated = make([]string, 0, sg.isoIndex.n)
+		sg.isoIndex.forEach(func(_, id string) {
+			sg.isolated = append(sg.isolated, id)
+		})
+		sort.Strings(sg.isolated)
+	})
+	return sg.isolated
+}
+
 // MemberTriples resolves a homologous node's member IDs to triples, in
-// member order.
+// member order. For nodes built by this package the resolution is an
+// array-indexed handle load per member; Members strings are only parsed as a
+// fallback for hand-constructed nodes.
 func (sg *SG) MemberTriples(n *HomologousNode) []*kg.Triple {
 	out := make([]*kg.Triple, 0, len(n.Members))
+	if len(n.members) == len(n.Members) && len(n.members) > 0 {
+		for _, h := range n.members {
+			if t := sg.graph.TripleAt(h); t != nil {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
 	for _, id := range n.Members {
 		if t, ok := sg.graph.Triple(id); ok {
 			out = append(out, t)
@@ -165,16 +223,16 @@ type Stats struct {
 
 // ComputeStats returns aggregate statistics of the homologous structure.
 func (sg *SG) ComputeStats() Stats {
-	st := Stats{HomologousNodes: len(sg.Nodes), Isolated: len(sg.Isolated)}
+	st := Stats{HomologousNodes: sg.nodes.n, Isolated: sg.isoIndex.n}
 	total := 0
-	for _, n := range sg.Nodes {
+	sg.nodes.forEach(func(_ string, n *HomologousNode) {
 		total += n.Num
 		if n.Num > st.MaxGroupSize {
 			st.MaxGroupSize = n.Num
 		}
-	}
-	if len(sg.Nodes) > 0 {
-		st.MeanGroupSize = float64(total) / float64(len(sg.Nodes))
+	})
+	if sg.nodes.n > 0 {
+		st.MeanGroupSize = float64(total) / float64(sg.nodes.n)
 	}
 	return st
 }

@@ -7,6 +7,7 @@
 package linegraph
 
 import (
+	"slices"
 	"sort"
 
 	"multirag/internal/kg"
@@ -23,43 +24,64 @@ type LineGraph struct {
 }
 
 // Transform computes the line graph of g. Adjacency is derived through the
-// shared-entity incidence lists, so the cost is proportional to the sum of
-// squared entity degrees rather than |T|².
+// interned per-entity incidence postings, so the cost is proportional to the
+// sum of squared entity degrees rather than |T|². Pair generation works
+// entirely on int32 triple handles; duplicates (a pair of triples can share
+// both an entity as subject and another as object) are removed by a per-node
+// sort+compact pass instead of the O(E²)-memory nested seen maps the
+// string-keyed implementation needed.
 func Transform(g *kg.Graph) *LineGraph {
-	lg := &LineGraph{Adj: map[string][]string{}}
-	lg.Nodes = g.TripleIDs()
-	// Incidence: entity → triples touching it.
-	incidence := map[string][]string{}
-	for _, id := range lg.Nodes {
-		t, _ := g.Triple(id)
-		incidence[t.Subject] = append(incidence[t.Subject], id)
-		if t.ObjectEntity != "" && t.ObjectEntity != t.Subject {
-			incidence[t.ObjectEntity] = append(incidence[t.ObjectEntity], id)
+	slots := g.TripleSlots()
+	adj := make([][]int32, slots)
+	var inc []int32
+	for e := int32(0); e < g.EntitySlots(); e++ {
+		// Incidence list of entity e: triples with subject e plus triples
+		// linking e as object (self-loops contribute once, via the subject
+		// side).
+		subj := g.SubjectPosting(e)
+		obj := g.ObjectPosting(e)
+		if len(subj)+len(obj) < 2 {
+			continue
 		}
-	}
-	seen := map[string]map[string]bool{}
-	for _, ids := range incidence {
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				a, b := ids[i], ids[j]
-				if seen[a] == nil {
-					seen[a] = map[string]bool{}
-				}
-				if seen[a][b] {
-					continue
-				}
-				seen[a][b] = true
-				if seen[b] == nil {
-					seen[b] = map[string]bool{}
-				}
-				seen[b][a] = true
-				lg.Adj[a] = append(lg.Adj[a], b)
-				lg.Adj[b] = append(lg.Adj[b], a)
+		inc = inc[:0]
+		inc = append(inc, subj...)
+		for _, th := range obj {
+			if g.TripleSubject(th) != e {
+				inc = append(inc, th)
+			}
+		}
+		for i := 0; i < len(inc); i++ {
+			for j := i + 1; j < len(inc); j++ {
+				a, b := inc[i], inc[j]
+				adj[a] = append(adj[a], b)
+				adj[b] = append(adj[b], a)
 			}
 		}
 	}
-	for _, neigh := range lg.Adj {
-		sort.Strings(neigh)
+
+	lg := &LineGraph{Adj: map[string][]string{}}
+	// ids interns one ID string per live triple; adjacency lists below share
+	// these strings instead of materialising new ones.
+	ids := make([]string, slots)
+	lg.Nodes = make([]string, 0, g.NumTriples())
+	g.ForEachTriple(func(h int32, t *kg.Triple) {
+		ids[h] = t.ID
+		lg.Nodes = append(lg.Nodes, t.ID)
+	})
+	sort.Strings(lg.Nodes)
+	for h := int32(0); h < slots; h++ {
+		neigh := adj[h]
+		if len(neigh) == 0 || ids[h] == "" {
+			continue
+		}
+		slices.Sort(neigh)
+		neigh = slices.Compact(neigh)
+		ss := make([]string, len(neigh))
+		for i, n := range neigh {
+			ss[i] = ids[n]
+		}
+		sort.Strings(ss)
+		lg.Adj[ids[h]] = ss
 	}
 	return lg
 }

@@ -69,8 +69,8 @@ func TestTransformSharedObjectEntity(t *testing.T) {
 func TestBuildHomologousGroups(t *testing.T) {
 	g := graphWithConflicts(t)
 	sg := Build(g)
-	if len(sg.Nodes) != 2 {
-		t.Fatalf("homologous nodes = %d, want 2", len(sg.Nodes))
+	if sg.NumNodes() != 2 {
+		t.Fatalf("homologous nodes = %d, want 2", sg.NumNodes())
 	}
 	node, ok := sg.Lookup(kg.CanonicalID("CA981"), "status")
 	if !ok {
@@ -95,8 +95,8 @@ func TestBuildHomologousGroups(t *testing.T) {
 func TestBuildIsolated(t *testing.T) {
 	g := graphWithConflicts(t)
 	sg := Build(g)
-	if len(sg.Isolated) != 1 {
-		t.Fatalf("isolated = %v, want exactly the runtime triple", sg.Isolated)
+	if len(sg.IsolatedIDs()) != 1 {
+		t.Fatalf("isolated = %v, want exactly the runtime triple", sg.IsolatedIDs())
 	}
 	tr, ok := sg.LookupIsolated(kg.CanonicalID("Heat"), "runtime")
 	if !ok || tr.Object != "170" {
@@ -163,27 +163,28 @@ func TestPartitionProperty(t *testing.T) {
 			}
 		}
 		sg := Build(g)
-		total := len(sg.Isolated)
+		total := len(sg.IsolatedIDs())
 		seen := map[string]bool{}
-		for _, id := range sg.Isolated {
+		for _, id := range sg.IsolatedIDs() {
 			if seen[id] {
 				return false
 			}
 			seen[id] = true
 		}
-		for _, n := range sg.Nodes {
+		okNodes := true
+		sg.ForEachNode(func(_ string, n *HomologousNode) {
 			if n.Num < 2 || n.Num != len(n.Members) {
-				return false
+				okNodes = false
 			}
 			total += n.Num
 			for _, id := range n.Members {
 				if seen[id] {
-					return false
+					okNodes = false
 				}
 				seen[id] = true
 			}
-		}
-		return total == g.NumTriples()
+		})
+		return okNodes && total == g.NumTriples()
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -1,0 +1,193 @@
+package linegraph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"multirag/internal/kg"
+)
+
+// refTransform is the seed line-graph transform: string-keyed incidence with
+// the O(E²)-memory nested seen maps. It runs on the public kg API only, so it
+// serves as the observation-equivalence oracle for the handle-based
+// Transform.
+func refTransform(g *kg.Graph) *LineGraph {
+	lg := &LineGraph{Adj: map[string][]string{}}
+	lg.Nodes = g.TripleIDs()
+	incidence := map[string][]string{}
+	for _, id := range lg.Nodes {
+		t, _ := g.Triple(id)
+		incidence[t.Subject] = append(incidence[t.Subject], id)
+		if t.ObjectEntity != "" && t.ObjectEntity != t.Subject {
+			incidence[t.ObjectEntity] = append(incidence[t.ObjectEntity], id)
+		}
+	}
+	seen := map[string]map[string]bool{}
+	for _, ids := range incidence {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if seen[a] == nil {
+					seen[a] = map[string]bool{}
+				}
+				if seen[a][b] {
+					continue
+				}
+				seen[a][b] = true
+				if seen[b] == nil {
+					seen[b] = map[string]bool{}
+				}
+				seen[b][a] = true
+				lg.Adj[a] = append(lg.Adj[a], b)
+				lg.Adj[b] = append(lg.Adj[b], a)
+			}
+		}
+	}
+	for _, neigh := range lg.Adj {
+		sort.Strings(neigh)
+	}
+	return lg
+}
+
+// refBuild is the seed homologous matching: group live triples by key with a
+// fresh hash map. It returns the expected node/isolated partition as plain
+// data for field-by-field comparison.
+func refBuild(g *kg.Graph) (nodes map[string]*HomologousNode, isolated []string) {
+	nodes = map[string]*HomologousNode{}
+	groups := map[string][]*kg.Triple{}
+	for _, id := range g.TripleIDs() {
+		t, _ := g.Triple(id)
+		groups[t.Key()] = append(groups[t.Key()], t)
+	}
+	for key, members := range groups {
+		if len(members) < 2 {
+			isolated = append(isolated, members[0].ID)
+			continue
+		}
+		n := &HomologousNode{
+			Key:       key,
+			SubjectID: members[0].Subject,
+			Name:      members[0].Predicate,
+			Meta:      map[string]string{},
+			Num:       len(members),
+			Weights:   map[string]float64{},
+		}
+		srcSet := map[string]bool{}
+		for _, t := range members {
+			n.Members = append(n.Members, t.ID)
+			n.Weights[t.ID] = t.Weight
+			srcSet[t.Source] = true
+		}
+		sort.Strings(n.Members)
+		for s := range srcSet {
+			n.Sources = append(n.Sources, s)
+		}
+		sort.Strings(n.Sources)
+		nodes[key] = n
+	}
+	sort.Strings(isolated)
+	return nodes, isolated
+}
+
+// randomLinkedGraph builds a graph with colliding keys, entity-valued
+// objects (including self-loops) and optional removals.
+func randomLinkedGraph(tb testing.TB, rng *rand.Rand, n int, withRemovals bool) *kg.Graph {
+	tb.Helper()
+	g := kg.New()
+	for i := 0; i < 10; i++ {
+		g.AddEntity(fmt.Sprintf("e%d", i), "T", "d")
+	}
+	var live []string
+	for i := 0; i < n; i++ {
+		subj := fmt.Sprintf("e%d", rng.Intn(10))
+		obj := fmt.Sprintf("v%d", rng.Intn(6))
+		if rng.Intn(2) == 0 {
+			obj = fmt.Sprintf("e%d", rng.Intn(10)) // entity link, maybe subj==obj
+		}
+		id, err := g.AddTriple(kg.Triple{
+			Subject:   subj,
+			Predicate: fmt.Sprintf("p%d", rng.Intn(4)),
+			Object:    obj,
+			Source:    fmt.Sprintf("s%d", rng.Intn(3)),
+			Weight:    0.25 * float64(1+rng.Intn(4)),
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		live = append(live, id)
+	}
+	if withRemovals {
+		for i := 0; i < n/5 && len(live) > 0; i++ {
+			j := rng.Intn(len(live))
+			g.RemoveTriple(live[j])
+			live = append(live[:j], live[j+1:]...)
+		}
+	}
+	return g
+}
+
+// TestTransformMatchesReference: the handle-based sort-merge Transform is
+// observation-equivalent to the seed nested-map implementation over random
+// graphs with entity links, self-loops and removals.
+func TestTransformMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := randomLinkedGraph(t, rng, 40+rng.Intn(80), seed%2 == 0)
+			got, want := Transform(g), refTransform(g)
+			if !reflect.DeepEqual(got.Nodes, want.Nodes) {
+				t.Fatalf("nodes diverge:\n got  %v\n want %v", got.Nodes, want.Nodes)
+			}
+			if !reflect.DeepEqual(got.Adj, want.Adj) {
+				t.Fatalf("adjacency diverges:\n got  %v\n want %v", got.Adj, want.Adj)
+			}
+		})
+	}
+}
+
+// TestBuildMatchesReference: Build over the graph's interned key postings is
+// observation-equivalent to the seed group-by-scan, including after
+// removals.
+func TestBuildMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := randomLinkedGraph(t, rng, 40+rng.Intn(80), seed%2 == 0)
+			sg := Build(g)
+			wantNodes, wantIsolated := refBuild(g)
+			if !reflect.DeepEqual(sg.IsolatedIDs(), wantIsolated) &&
+				!(len(sg.IsolatedIDs()) == 0 && len(wantIsolated) == 0) {
+				t.Fatalf("isolated diverge:\n got  %v\n want %v", sg.IsolatedIDs(), wantIsolated)
+			}
+			if sg.NumNodes() != len(wantNodes) {
+				t.Fatalf("node counts diverge: %d vs %d", sg.NumNodes(), len(wantNodes))
+			}
+			for key, want := range wantNodes {
+				got, ok := sg.Node(key)
+				if !ok {
+					t.Fatalf("missing node %q", key)
+				}
+				if got.Key != want.Key || got.SubjectID != want.SubjectID ||
+					got.Name != want.Name || got.Num != want.Num ||
+					!reflect.DeepEqual(got.Members, want.Members) ||
+					!reflect.DeepEqual(got.Weights, want.Weights) ||
+					!reflect.DeepEqual(got.Sources, want.Sources) {
+					t.Fatalf("node %q diverges:\n got  %+v\n want %+v", key, got, want)
+				}
+				// Member handle resolution must agree with string resolution.
+				ts := sg.MemberTriples(got)
+				if len(ts) != len(got.Members) {
+					t.Fatalf("MemberTriples(%q) = %d triples, want %d", key, len(ts), len(got.Members))
+				}
+				for i, tr := range ts {
+					if tr.ID != got.Members[i] {
+						t.Fatalf("member %d of %q resolves to %s, want %s", i, key, tr.ID, got.Members[i])
+					}
+				}
+			}
+		})
+	}
+}
