@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_SCALE ?= 0.12
 
-.PHONY: check vet build test race bench bench-retrieval bench-graph clean
+.PHONY: check vet build test race bench bench-retrieval bench-graph bench-query clean
 
 # check is the CI entry point: static analysis, full build, race-enabled tests.
 check: vet build race
@@ -35,5 +35,12 @@ bench-retrieval:
 bench-graph:
 	$(GO) run ./cmd/benchtables -graph -scale $(BENCH_SCALE) -json BENCH_graph.json
 
+# bench-query runs the query-executor microbenchmarks (sequential
+# scan-per-subquestion reference vs the parallel index-backed executor over
+# lookup / multi-hop / comparison / fallback mixes, equivalence-checked) and
+# records the timing report.
+bench-query:
+	$(GO) run ./cmd/benchtables -query -scale $(BENCH_SCALE) -json BENCH_query.json
+
 clean:
-	rm -f BENCH_core.json BENCH_retrieval.json BENCH_graph.json
+	rm -f BENCH_core.json BENCH_retrieval.json BENCH_graph.json BENCH_query.json

@@ -7,6 +7,7 @@
 //	benchtables -figure 5       # one figure (5..7)
 //	benchtables -retrieval      # retrieval-layer microbenchmarks only
 //	benchtables -graph          # graph-core microbenchmarks only
+//	benchtables -query          # query-executor microbenchmarks only
 //	benchtables -scale 0.2      # quick run at 20% workload
 //	benchtables -seed 7         # different generation seed
 //	benchtables -json BENCH_core.json   # also write per-job wall times as JSON
@@ -27,6 +28,7 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate only this figure (5-7)")
 	retr := flag.Bool("retrieval", false, "run only the retrieval-layer microbenchmarks")
 	graph := flag.Bool("graph", false, "run only the graph-core microbenchmarks")
+	query := flag.Bool("query", false, "run only the query-executor microbenchmarks")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (entities and queries)")
 	seed := flag.Uint64("seed", 1, "dataset / model seed")
 	jsonOut := flag.String("json", "", "write per-job wall-clock timings to this JSON file")
@@ -40,24 +42,35 @@ func main() {
 	}
 	var jobs []job
 	var graphDetail *bench.GraphReport
+	var queryDetail *bench.QueryReport
 	add := func(name string, run func(bench.Options) error) {
 		jobs = append(jobs, job{name, run})
 	}
 	switch {
 	case *retr:
-		if *table > 0 || *figure > 0 || *graph {
-			fmt.Fprintln(os.Stderr, "benchtables: -retrieval cannot be combined with -table/-figure/-graph")
+		if *table > 0 || *figure > 0 || *graph || *query {
+			fmt.Fprintln(os.Stderr, "benchtables: -retrieval cannot be combined with -table/-figure/-graph/-query")
 			os.Exit(2)
 		}
 		add("Retrieval", bench.Retrieval)
 	case *graph:
-		if *table > 0 || *figure > 0 {
-			fmt.Fprintln(os.Stderr, "benchtables: -graph cannot be combined with -table/-figure")
+		if *table > 0 || *figure > 0 || *query {
+			fmt.Fprintln(os.Stderr, "benchtables: -graph cannot be combined with -table/-figure/-query")
 			os.Exit(2)
 		}
 		add("Graph", func(o bench.Options) error {
 			rep, err := bench.GraphBenchReport(o)
 			graphDetail = rep
+			return err
+		})
+	case *query:
+		if *table > 0 || *figure > 0 {
+			fmt.Fprintln(os.Stderr, "benchtables: -query cannot be combined with -table/-figure")
+			os.Exit(2)
+		}
+		add("Query", func(o bench.Options) error {
+			rep, err := bench.QueryBenchReport(o)
+			queryDetail = rep
 			return err
 		})
 	case *table > 0:
@@ -108,6 +121,7 @@ func main() {
 		Jobs    []timing           `json:"jobs"`
 		Seconds float64            `json:"total_seconds"`
 		Graph   *bench.GraphReport `json:"graph,omitempty"`
+		Query   *bench.QueryReport `json:"query,omitempty"`
 	}{Seed: *seed, Scale: *scale}
 	for _, j := range jobs {
 		start := time.Now()
@@ -121,6 +135,7 @@ func main() {
 		fmt.Fprintf(os.Stdout, "\n[%s regenerated in %v]\n\n", j.name, elapsed.Round(time.Millisecond))
 	}
 	report.Graph = graphDetail
+	report.Query = queryDetail
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

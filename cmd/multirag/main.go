@@ -8,6 +8,8 @@
 //	multirag -demo                 # built-in CA981 case-study corpus
 //	multirag -demo -stats          # corpus statistics after ingestion
 //	multirag -demo -ask "..." -explain
+//	multirag -demo -load 2000             # closed-loop latency test (p50/p95/p99)
+//	multirag -demo -load 2000 -qps 500    # open-loop at a target arrival rate
 //
 // File formats are inferred from extensions: .csv, .json, .xml, .kg, .txt.
 package main
@@ -17,9 +19,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"multirag"
+	"multirag/internal/par"
 )
 
 func main() {
@@ -31,12 +38,14 @@ func main() {
 		stats   = flag.Bool("stats", false, "print corpus statistics")
 		explain = flag.Bool("explain", false, "show trusted evidence and confidence detail")
 		seed    = flag.Uint64("seed", 1, "simulated model seed")
-		workers = flag.Int("workers", 0, "ingestion worker pool size (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "worker pool size: ingestion, query fan-out and -load concurrency (0 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 0, "retrieval index shard count (0 = default, 1 = flat scan)")
 		noPost  = flag.Bool("no-postings", false, "disable the retrieval postings pre-filter")
 		cache   = flag.Int("cache", 0, "answer cache size in entries (0 = disabled)")
 		k       = flag.Int("k", 5, "documents to retrieve with -retrieve")
 		retr    = flag.String("retrieve", "", "retrieve supporting documents for a query")
+		load    = flag.Int("load", 0, "run a query load test of this many requests (0 = off)")
+		qps     = flag.Float64("qps", 0, "offered arrival rate for -load (0 = closed loop at pool concurrency)")
 	)
 	flag.Parse()
 
@@ -99,6 +108,11 @@ func main() {
 		}
 	}
 
+	if *load > 0 {
+		queries := loadQueries(*load, *ask)
+		runLoad(sys, queries, *qps, *workers)
+	}
+
 	if *ask != "" {
 		ans := sys.Ask(*ask)
 		if !ans.Found {
@@ -134,6 +148,80 @@ func formatOf(path string) (string, error) {
 		return "text", nil
 	}
 	return "", fmt.Errorf("multirag: cannot infer format of %q (use .csv/.json/.xml/.kg/.txt)", path)
+}
+
+// loadQueries builds the load-test workload: the -ask question when given,
+// otherwise a mixed-intent sweep over the demo corpus (lookup, nested
+// lookup, multi-hop-shaped, comparison, fallback).
+func loadQueries(n int, ask string) []string {
+	base := []string{ask}
+	if ask == "" {
+		base = []string{
+			"What is the status of CA981?",
+			"What is the delay reason of CA981?",
+			"What is the departure time of CA981?",
+			"Do CA981 and MU588 have the same status?",
+			"Anything new about CA981 today",
+		}
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = base[i%len(base)]
+	}
+	return out
+}
+
+// runLoad drives the workload through the serving pool and reports the
+// per-request latency distribution — p50/p95/p99, not just aggregate
+// seconds, since tail latency is what a heavily-loaded deployment feels.
+// With -qps 0 a closed loop keeps exactly `workers` requests in flight;
+// with a target rate, requests are dispatched open-loop on the arrival
+// schedule and latency includes any queueing delay the system caused.
+func runLoad(sys *multirag.System, queries []string, qps float64, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(queries)
+	lat := make([]time.Duration, n)
+	start := time.Now()
+	if qps <= 0 {
+		par.ForEach(workers, n, func(i int) {
+			t0 := time.Now()
+			sys.Ask(queries[i])
+			lat[i] = time.Since(t0)
+		})
+	} else {
+		interval := time.Duration(float64(time.Second) / qps)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			sched := start.Add(time.Duration(i) * interval)
+			if d := time.Until(sched); d > 0 {
+				time.Sleep(d)
+			}
+			go func(i int, sched time.Time) {
+				defer wg.Done()
+				sys.Ask(queries[i])
+				lat[i] = time.Since(sched)
+			}(i, sched)
+		}
+		wg.Wait()
+	}
+	total := time.Since(start)
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) time.Duration {
+		return sorted[int(p*float64(n-1))]
+	}
+	mode := "closed loop"
+	if qps > 0 {
+		mode = fmt.Sprintf("open loop @ %.0f qps offered", qps)
+	}
+	fmt.Printf("load test: %d requests, %s, %d workers\n", n, mode, workers)
+	fmt.Printf("  throughput: %.0f qps achieved in %v\n", float64(n)/total.Seconds(), total.Round(time.Millisecond))
+	fmt.Printf("  latency: p50 %v  p95 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), sorted[n-1].Round(time.Microsecond))
 }
 
 func demoFiles() []multirag.File {

@@ -1,0 +1,99 @@
+package confidence
+
+import (
+	"reflect"
+	"testing"
+
+	"multirag/internal/kg"
+	"multirag/internal/linegraph"
+)
+
+// TestRunDeferredMatchesRunThenApply: with a single candidate there is no
+// intra-call ordering, so RunDeferred + Apply must leave the result and the
+// history store bit-identical to a plain Run.
+func TestRunDeferredMatchesRunThenApply(t *testing.T) {
+	_, sg := caseStudyGraph(t)
+	node, _ := sg.Lookup(kg.CanonicalID("CA981"), "status")
+	cfg := Config{Alpha: 0.5, Beta: 0.5, NodeThreshold: 0.7, GraphThreshold: 0.99} // force node-level
+
+	immediate := newMCC(cfg)
+	deferred := newMCC(cfg)
+	for round := 0; round < 4; round++ {
+		want := immediate.Run(sg, []*linegraph.HomologousNode{node}, Options{})
+		got, delta := deferred.RunDeferred(sg, []*linegraph.HomologousNode{node}, Options{})
+		deferred.History().Apply(delta)
+		if !reflect.DeepEqual(got.SVs, want.SVs) || !reflect.DeepEqual(got.LVs, want.LVs) {
+			t.Fatalf("round %d: deferred result diverges from immediate run", round)
+		}
+		for _, src := range []string{"airline-app", "airport-api", "weather-feed", "forum-user"} {
+			if a, b := immediate.History().Prh(src), deferred.History().Prh(src); a != b {
+				t.Fatalf("round %d: history diverges for %s: %v vs %v", round, src, a, b)
+			}
+		}
+	}
+}
+
+// TestRunDeferredFreezesHistoryAcrossCandidates pins the deferred contract:
+// every candidate in one RunDeferred call is scored against the call-time
+// history, so splitting the candidates across separate deferred calls (the
+// parallel-arm shape) and applying the deltas afterwards yields the same
+// scores in any split.
+func TestRunDeferredFreezesHistoryAcrossCandidates(t *testing.T) {
+	g := kg.New()
+	g.AddEntity("CA981", "Flight", "flights")
+	g.AddEntity("MU588", "Flight", "flights")
+	add := func(subj, pred, obj, src string, w float64) {
+		t.Helper()
+		if _, err := g.AddTriple(kg.Triple{
+			Subject: kg.CanonicalID(subj), Predicate: pred, Object: obj,
+			Source: src, Domain: "flights", Weight: w,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both nodes share sources, so immediate-update ordering would couple
+	// their scores; both conflict, so the node-level (history-reading) stage
+	// runs for each.
+	add("CA981", "status", "Delayed", "airline-app", 0.9)
+	add("CA981", "status", "On time", "forum-user", 0.4)
+	add("MU588", "status", "Boarding", "airline-app", 0.85)
+	add("MU588", "status", "Cancelled", "forum-user", 0.45)
+	sg := linegraph.Build(g)
+	n1, _ := sg.Lookup(kg.CanonicalID("CA981"), "status")
+	n2, _ := sg.Lookup(kg.CanonicalID("MU588"), "status")
+	cfg := Config{Alpha: 0.5, Beta: 0.5, NodeThreshold: 0.7, GraphThreshold: 0.99}
+
+	joint := newMCC(cfg)
+	split := newMCC(cfg)
+	wantRes, wantDelta := joint.RunDeferred(sg, []*linegraph.HomologousNode{n1, n2}, Options{})
+	joint.History().Apply(wantDelta)
+
+	r1, d1 := split.RunDeferred(sg, []*linegraph.HomologousNode{n1}, Options{})
+	r2, d2 := split.RunDeferred(sg, []*linegraph.HomologousNode{n2}, Options{})
+	split.History().Apply(d1)
+	split.History().Apply(d2)
+
+	got := append(append([]TrustedNode(nil), r1.SVs...), r2.SVs...)
+	if !reflect.DeepEqual(got, wantRes.SVs) {
+		t.Fatalf("split deferred runs diverge from joint run:\n got %+v\nwant %+v", got, wantRes.SVs)
+	}
+	for _, src := range []string{"airline-app", "forum-user"} {
+		if a, b := joint.History().Prh(src), split.History().Prh(src); a != b {
+			t.Fatalf("history diverges for %s: %v vs %v", src, a, b)
+		}
+	}
+}
+
+// TestHistoryDeltaApplyNil: nil and empty deltas are no-ops.
+func TestHistoryDeltaApplyNil(t *testing.T) {
+	hs := NewHistoryStore()
+	before := hs.Prh("src")
+	hs.Apply(nil)
+	hs.Apply(&HistoryDelta{})
+	if got := hs.Prh("src"); got != before {
+		t.Fatalf("no-op apply changed history: %v vs %v", got, before)
+	}
+	if !(&HistoryDelta{}).Empty() || !(*HistoryDelta)(nil).Empty() {
+		t.Fatal("empty deltas must report Empty")
+	}
+}

@@ -94,6 +94,36 @@ func (hs *HistoryStore) Prh0(sh *sourceHistory) float64 {
 	return sh.correct / float64(sh.h)
 }
 
+// HistoryDelta is a deferred batch of incremental-estimation updates: the
+// per-source acceptance credits one MCC evaluation would have applied
+// immediately. Parallel query arms each accumulate their own delta against a
+// frozen history view and the executor applies them in input order after the
+// join, so the final history state — and every confidence score computed
+// along the way — is independent of scheduling. Updates are commutative
+// (pure counter increments), which is what makes the in-order replay exact.
+type HistoryDelta struct {
+	entries []histCredit
+}
+
+// histCredit is one source's outcome for one candidate subgraph.
+type histCredit struct {
+	source             string
+	provided, accepted int
+}
+
+// Empty reports whether the delta carries no credits.
+func (d *HistoryDelta) Empty() bool { return d == nil || len(d.entries) == 0 }
+
+// Apply replays the recorded credits onto hs. A nil delta is a no-op.
+func (hs *HistoryStore) Apply(d *HistoryDelta) {
+	if d == nil {
+		return
+	}
+	for _, c := range d.entries {
+		hs.Update(c.source, c.provided, c.accepted)
+	}
+}
+
 // Update performs the incremental estimation step after a query: the source
 // provided `provided` entities of which `accepted` survived confidence
 // filtering. Acceptance is treated as the online proxy for correctness.

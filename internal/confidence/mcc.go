@@ -122,11 +122,33 @@ func (m *MCC) Config() Config { return m.cfg }
 // take the fast path (top-FastPathNodes by weight, no scoring); members of
 // low-confidence subgraphs are scored with C(v) = Sₙ(v) + A(v) and filtered
 // by θ. After the query, per-source history is updated with the acceptance
-// outcome (the incremental estimation of Eq. 11).
+// outcome (the incremental estimation of Eq. 11): Run applies each
+// candidate's update as soon as the candidate is assessed, so within one
+// call later candidates see earlier candidates' credits.
 func (m *MCC) Run(sg *linegraph.SG, candidates []*linegraph.HomologousNode, opts Options) Result {
+	res, _ := m.run(sg, candidates, opts, false)
+	return res
+}
+
+// RunDeferred is Run for parallel executors: history reads all observe the
+// state at call time and no update is applied — the acceptance credits are
+// returned as a HistoryDelta for the caller to Apply once the parallel phase
+// has joined. Because every concurrent RunDeferred sees the same frozen
+// history, evaluation order (and therefore worker count) cannot change any
+// confidence score; applying the deltas afterwards in input order makes the
+// whole phase bit-identical to a sequential deferred run.
+func (m *MCC) RunDeferred(sg *linegraph.SG, candidates []*linegraph.HomologousNode, opts Options) (Result, *HistoryDelta) {
+	return m.run(sg, candidates, opts, true)
+}
+
+func (m *MCC) run(sg *linegraph.SG, candidates []*linegraph.HomologousNode, opts Options, deferred bool) (Result, *HistoryDelta) {
 	var res Result
+	var delta *HistoryDelta
+	if deferred {
+		delta = &HistoryDelta{}
+	}
 	if len(candidates) == 0 {
-		return res
+		return res, delta
 	}
 	// Stage 1: graph-level confidence. Member triples and their value sets
 	// are resolved once per candidate — handle-indexed loads off the interned
@@ -187,12 +209,16 @@ func (m *MCC) Run(sg *linegraph.SG, candidates []*linegraph.HomologousNode, opts
 			m.scoreMembers(sg, members, c.vals, &a)
 			res.NodesScored += len(members)
 		}
-		m.updateHistory(members, a.Trusted)
+		if deferred {
+			delta.record(members, a.Trusted)
+		} else {
+			m.updateHistory(members, a.Trusted)
+		}
 		res.Assessments = append(res.Assessments, a)
 		res.SVs = append(res.SVs, a.Trusted...)
 		res.LVs = append(res.LVs, a.Rejected...)
 	}
-	return res
+	return res, delta
 }
 
 // AssessIsolated handles isolated points (single-claim keys): they cannot be
@@ -321,6 +347,15 @@ func (m *MCC) authority(sg *linegraph.SG, t *kg.Triple, centre float64, queryDat
 // updateHistory credits each source with its acceptance outcome for this
 // query (incremental estimation, Eq. 11 preamble).
 func (m *MCC) updateHistory(members []*kg.Triple, trusted []TrustedNode) {
+	for _, c := range historyCredits(members, trusted) {
+		m.hist.Update(c.source, c.provided, c.accepted)
+	}
+}
+
+// historyCredits folds one candidate's members and surviving trusted nodes
+// into per-source acceptance counts, sorted by source for deterministic
+// delta contents.
+func historyCredits(members []*kg.Triple, trusted []TrustedNode) []histCredit {
 	provided := map[string]int{}
 	accepted := map[string]int{}
 	for _, t := range members {
@@ -329,9 +364,17 @@ func (m *MCC) updateHistory(members []*kg.Triple, trusted []TrustedNode) {
 	for _, tn := range trusted {
 		accepted[tn.Triple.Source]++
 	}
+	out := make([]histCredit, 0, len(provided))
 	for src, p := range provided {
-		m.hist.Update(src, p, accepted[src])
+		out = append(out, histCredit{source: src, provided: p, accepted: accepted[src]})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].source < out[j].source })
+	return out
+}
+
+// record appends one candidate's acceptance credits to the delta.
+func (d *HistoryDelta) record(members []*kg.Triple, trusted []TrustedNode) {
+	d.entries = append(d.entries, historyCredits(members, trusted)...)
 }
 
 func typeWeight(g *kg.Graph, t *kg.Triple) float64 {

@@ -7,17 +7,19 @@ import (
 	"multirag/internal/retrieval"
 )
 
-// This file holds the per-query evaluation caches. Both are deterministic
+// This file holds the per-query evaluation caches. All are deterministic
 // (no dependence on timing or map iteration order; eviction is
 // flush-on-overflow rather than LRU), but they differ in strength: the
-// embedding cache is fully transparent — embeddings are pure functions of
-// the text, so hits are bit-identical to recomputation — while an
-// answer-cache hit skips the whole evaluation, including MCC's online
-// source-history update, so later *different* queries can see slightly
-// different confidence values than an uncached run would produce (the same
-// mild order-dependence concurrent queries already have; see DESIGN.md
-// "Costs accepted"). That, plus the skipped LLM usage accounting, is why
-// the answer cache is opt-in.
+// embedding cache and the evidence memo are fully transparent — embeddings
+// are pure functions of the text, and the memo stores only
+// history-independent evaluations whose deferred history credits are
+// replayed on every hit — while an answer-cache hit skips the whole
+// evaluation, including MCC's online source-history update, so later
+// *different* queries can see slightly different confidence values than an
+// uncached run would produce (the same mild order-dependence concurrent
+// queries already have; see DESIGN.md "Costs accepted"). That, plus the
+// skipped LLM usage accounting, is why the answer cache is opt-in while the
+// other two are always on.
 
 // embedCacheLimit bounds the query-embedding cache. Embeddings are pure
 // functions of (text, dim), so entries never invalidate; the bound only caps
@@ -148,6 +150,110 @@ func (c *answerCache) put(gen uint64, q string, a Answer) {
 
 // size reports the current entry count (test hook).
 func (c *answerCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// evidenceMemoLimit bounds the evidence memo; like the other caches it
+// flushes wholesale on overflow so eviction stays deterministic.
+const evidenceMemoLimit = 8192
+
+// evidenceMemo memoises gatherEvidence outcomes per (entity, relation) key,
+// generation-stamped exactly like the answer cache so a snapshot publish
+// flushes every entry. Unlike the answer cache it is on by default, because
+// its hits are exact: only history-INDEPENDENT evaluations are stored (the
+// homologous fast-path/graph-eliminated outcomes, never node-level scoring,
+// isolated authority or the chunk path), and each hit replays the stored
+// HistoryDelta, reproducing precisely the source-history evolution an
+// uncached re-evaluation would have caused. Answers are therefore
+// bit-identical with the memo on or off — the query bench asserts this. What
+// a hit saves is the candidate lookup, member resolution, graph-confidence
+// recomputation and one Standardize call per repeated fan-out sub-question.
+type evidenceMemo struct {
+	disabled bool
+	mu       sync.Mutex
+	gen      uint64
+	m        map[string]evidenceEntry
+}
+
+// evidenceEntry pairs a memoised evidence set with the deferred history
+// credits its evaluation produced. The delta is immutable once stored and is
+// shared by reference. The ev/trusted/gcs slices are shared too: consumers
+// only read them or append their *elements* into answer slices, never write
+// through them (the evidence immutability contract), so hits cost no copy.
+// Only stages need cloning — answerLookup hands them wholesale to the
+// caller-mutable Answer (see cloneStages).
+type evidenceEntry struct {
+	e evidence
+	d *confidence.HistoryDelta
+}
+
+func newEvidenceMemo(disabled bool) *evidenceMemo { return &evidenceMemo{disabled: disabled} }
+
+func evidenceKey(entity, relation string) string { return entity + "\x00" + relation }
+
+// cloneStages deep-copies the stage snapshots, the one evidence field that
+// escapes by reference into caller-owned Answers (mirror of cloneAnswer's
+// stage handling). Hop and comparison arms discard stages, so their memo
+// hits — the hot case — pay nothing here beyond the header copy.
+func cloneStages(e evidence) evidence {
+	stages := append([]StageSnapshot(nil), e.stages...)
+	for i := range stages {
+		stages[i].Values = append([]string(nil), stages[i].Values...)
+	}
+	e.stages = stages
+	return e
+}
+
+// get returns the memoised evidence for (entity, relation) against snapshot
+// generation gen, with the history delta the caller must Apply (the hit-side
+// replay that keeps the memo exact).
+func (c *evidenceMemo) get(gen uint64, entity, relation string) (evidence, *confidence.HistoryDelta, bool) {
+	if c.disabled {
+		return evidence{}, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		if gen < c.gen {
+			return evidence{}, nil, false // query against an already-replaced snapshot
+		}
+		c.m, c.gen = nil, gen
+		return evidence{}, nil, false
+	}
+	ent, ok := c.m[evidenceKey(entity, relation)]
+	if !ok {
+		return evidence{}, nil, false
+	}
+	return cloneStages(ent.e), ent.d, true
+}
+
+// put records one evaluation. Callers only pass history-independent results
+// (evidence.memoable); the stored copy is private.
+func (c *evidenceMemo) put(gen uint64, entity, relation string, e evidence, d *confidence.HistoryDelta) {
+	if c.disabled {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		if gen < c.gen {
+			return // stale snapshot; never poison the newer generation
+		}
+		c.m, c.gen = nil, gen
+	}
+	if c.m == nil {
+		c.m = make(map[string]evidenceEntry)
+	}
+	if len(c.m) >= evidenceMemoLimit {
+		c.m = make(map[string]evidenceEntry)
+	}
+	c.m[evidenceKey(entity, relation)] = evidenceEntry{e: cloneStages(e), d: d}
+}
+
+// size reports the current entry count (test hook).
+func (c *evidenceMemo) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"multirag/internal/adapter"
+	"multirag/internal/llm"
+)
+
+// kgFile renders native-KG triples ("subj|pred|obj" lines) for one source.
+func kgFile(source string, lines ...string) adapter.RawFile {
+	return adapter.RawFile{
+		Domain: "exec", Source: source, Name: "facts", Format: "kg",
+		Content: []byte(strings.Join(lines, "\n") + "\n"),
+	}
+}
+
+// executorFiles is a corpus exercising every executor path: consistent
+// homologous groups (fast path, memoable), conflicting groups (node-level
+// scoring, history-sensitive), nested attributes, multi-truth bridges for
+// hop-2 fan-out, and an isolated claim.
+func executorFiles() []adapter.RawFile {
+	return []adapter.RawFile{
+		kgFile("registry",
+			"Team Alpha|manager|Dana Fox",
+			"Team Alpha|manager|Eli Ray",
+			"Team Alpha|status|Active",
+			"Team Alpha|status_state|Scaling",
+			"Dana Fox|city|Oslo",
+			"Eli Ray|city|Lima",
+			"Team Beta|manager|Dana Fox",
+			"Team Beta|status|Active",
+		),
+		kgFile("ledger",
+			"Team Alpha|manager|Dana Fox",
+			"Team Alpha|manager|Eli Ray",
+			"Team Alpha|status|Active",
+			"Team Alpha|status_state|Scaling",
+			"Dana Fox|city|Oslo",
+			"Eli Ray|city|Lima",
+			"Team Beta|manager|Dana Fox",
+			"Team Beta|status|Dormant",
+		),
+		kgFile("forum-posts",
+			// Conflicting claims force the node-level (history-reading) stage.
+			"Dana Fox|city|Paris",
+			"Eli Ray|city|Cairo",
+			"Team Alpha|status|Dormant",
+			// Isolated claim: single member for (team beta, founded).
+			"Team Beta|founded|2019",
+		),
+	}
+}
+
+// executorQueries mixes every intent, including repeats that hit the
+// evidence memo and a comparison whose first arm cannot resolve.
+func executorQueries() []string {
+	return []string{
+		"What is the status of Team Alpha?",
+		"What is the city of the manager of Team Alpha?",
+		"What is the city of the manager of Team Beta?",
+		"Do Team Alpha and Team Beta have the same status?",
+		"What is the founded of Team Beta?",
+		"What is the city of the manager of Team Alpha?",
+		"Do Team Gamma and Team Alpha have the same status?",
+		"Something about Team Alpha entirely unparsable",
+		"What is the status of Team Beta?",
+	}
+}
+
+func newExecutorSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	if cfg.LLM == (llm.Config{}) {
+		cfg.LLM = llm.Config{Seed: 1, ExtractionNoise: 0}
+	}
+	s := NewSystem(cfg)
+	if _, err := s.Ingest(executorFiles()); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	return s
+}
+
+// TestQueryDeterministicAcrossWorkerCounts is the parallel-executor
+// correctness contract: the full Answer — Values, Trusted order,
+// GraphConfidences, Stages, diagnostics — must be bit-identical whether
+// sub-questions run on one worker or eight, across a query sequence whose
+// later answers depend on the history the earlier ones evolved.
+func TestQueryDeterministicAcrossWorkerCounts(t *testing.T) {
+	serial := newExecutorSystem(t, Config{Workers: 1})
+	parallel := newExecutorSystem(t, Config{Workers: 8})
+	for round := 0; round < 3; round++ {
+		for _, q := range executorQueries() {
+			sa := serial.Query(q)
+			pa := parallel.Query(q)
+			if !reflect.DeepEqual(sa, pa) {
+				t.Fatalf("round %d: answers diverge for %q:\n workers=1 %+v\n workers=8 %+v", round, q, sa, pa)
+			}
+		}
+	}
+}
+
+// TestQueryPathAvoidsNodeScans is the acceptance check for the per-snapshot
+// evidence index: no query intent may touch ForEachNode. The A/B reference
+// knob must still exercise the scan (so the counter provably works) and must
+// return the same answers.
+func TestQueryPathAvoidsNodeScans(t *testing.T) {
+	indexed := newExecutorSystem(t, Config{})
+	scanning := newExecutorSystem(t, Config{DisableQueryIndex: true})
+	base := indexed.SG().NodeScans()
+	for _, q := range executorQueries() {
+		ia := indexed.Query(q)
+		sa := scanning.Query(q)
+		if !reflect.DeepEqual(ia, sa) {
+			t.Fatalf("index and scan paths diverge for %q", q)
+		}
+	}
+	if got := indexed.SG().NodeScans(); got != base {
+		t.Fatalf("query hot path performed %d homologous-node scan visits, want 0", got-base)
+	}
+	if scanning.SG().NodeScans() == 0 {
+		t.Fatal("reference path should have exercised the ForEachNode scan (instrumentation hook dead?)")
+	}
+}
+
+// TestEvidenceMemoTransparent pins the memo's exactness contract: because
+// only history-independent evaluations are stored and their history credits
+// replay on every hit, the complete answer sequence — including
+// history-sensitive conflicting queries evaluated AFTER memo hits — is
+// bit-identical with the memo on and off.
+func TestEvidenceMemoTransparent(t *testing.T) {
+	memo := newExecutorSystem(t, Config{})
+	plain := newExecutorSystem(t, Config{DisableEvidenceMemo: true})
+	for round := 0; round < 3; round++ {
+		for _, q := range executorQueries() {
+			ma := memo.Query(q)
+			pa := plain.Query(q)
+			if !reflect.DeepEqual(ma, pa) {
+				t.Fatalf("round %d: memo changed the answer for %q:\n with    %+v\n without %+v", round, q, ma, pa)
+			}
+		}
+	}
+	if memo.evidence.size() == 0 {
+		t.Fatal("memo never stored an entry; the transparency check ran vacuously")
+	}
+}
+
+// TestEvidenceMemoInvalidatedOnIngest mirrors the answer-cache invalidation
+// tests: an ingest between queries publishes a new generation, which must
+// flush the memo so the next query sees the new corpus. (Team Beta, manager)
+// is a consistent fast-path key, so it is memoable.
+func TestEvidenceMemoInvalidatedOnIngest(t *testing.T) {
+	s := newExecutorSystem(t, Config{})
+	s.Query("What is the manager of Team Beta?")
+	if _, _, ok := s.evidence.get(s.snap.Load().gen, "Team Beta", "manager"); !ok {
+		t.Fatal("expected a memo entry before ingest")
+	}
+	if _, err := s.Ingest([]adapter.RawFile{
+		kgFile("registry-update", "Team Epsilon|manager|Riley Kim"),
+		kgFile("ledger-update", "Team Epsilon|manager|Riley Kim"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.evidence.get(s.snap.Load().gen, "Team Beta", "manager"); ok {
+		t.Fatal("memo served an entry from the previous snapshot generation")
+	}
+	ans := s.Query("What is the manager of Team Epsilon?")
+	if !ans.Found || len(ans.Values) == 0 || ans.Values[0] != "Riley Kim" {
+		t.Fatalf("post-ingest query never saw the new claims: %+v", ans.Values)
+	}
+}
+
+// TestEvidenceMemoInvalidatedOnRebuildSG covers the other publication path.
+func TestEvidenceMemoInvalidatedOnRebuildSG(t *testing.T) {
+	s := newExecutorSystem(t, Config{})
+	s.Query("What is the manager of Team Beta?")
+	gen := s.snap.Load().gen
+	if _, _, ok := s.evidence.get(gen, "Team Beta", "manager"); !ok {
+		t.Fatal("expected a memo entry before RebuildSG")
+	}
+	s.RebuildSG()
+	if _, _, ok := s.evidence.get(s.snap.Load().gen, "Team Beta", "manager"); ok {
+		t.Fatal("RebuildSG did not invalidate the evidence memo")
+	}
+}
+
+// TestComparisonShortCircuitSkipsSecondArm: with a single worker, an
+// unresolvable first entity must skip the second arm's evidence gathering
+// entirely — observable because the skipped arm would have filled the
+// evidence memo.
+func TestComparisonShortCircuitSkipsSecondArm(t *testing.T) {
+	s := newExecutorSystem(t, Config{Workers: 1})
+	ans := s.Query("Do Team Gamma and Team Beta have the same manager?")
+	if ans.Found {
+		t.Fatalf("comparison with an unknown entity must not resolve: %+v", ans.Values)
+	}
+	if _, _, ok := s.evidence.get(s.snap.Load().gen, "Team Beta", "manager"); ok {
+		t.Fatal("second comparison arm was evaluated despite the first resolving to nil")
+	}
+	// Sanity: the arm ordering matters — a resolvable first entity evaluates
+	// the second arm as usual.
+	s.Query("Do Team Beta and Team Gamma have the same manager?")
+	if _, _, ok := s.evidence.get(s.snap.Load().gen, "Team Beta", "manager"); !ok {
+		t.Fatal("first comparison arm should have filled the memo")
+	}
+}
+
+// TestAskDuringQueryBatch is the batch-serving race stress: QueryBatch,
+// single Ask calls and ingest commits all proceed concurrently. Run with
+// -race; correctness here is "no race, no panic, every batch answer in input
+// order".
+func TestAskDuringQueryBatch(t *testing.T) {
+	s := newExecutorSystem(t, Config{Workers: 4})
+	queries := executorQueries()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			out := s.QueryBatch(queries)
+			if len(out) != len(queries) {
+				t.Errorf("batch returned %d answers for %d queries", len(out), len(queries))
+				return
+			}
+			for j := range out {
+				if out[j].Query != queries[j] {
+					t.Errorf("batch answer %d is for %q, want %q", j, out[j].Query, queries[j])
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			s.Query(queries[i%len(queries)])
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if _, err := s.Ingest([]adapter.RawFile{
+				kgFile(fmt.Sprintf("stream-%d", i),
+					fmt.Sprintf("Team Alpha|status|Active"),
+					fmt.Sprintf("Team Delta %d|status|New", i)),
+			}); err != nil {
+				t.Errorf("ingest %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

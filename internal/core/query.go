@@ -3,11 +3,13 @@ package core
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"multirag/internal/confidence"
 	"multirag/internal/kg"
 	"multirag/internal/linegraph"
 	"multirag/internal/llm"
+	"multirag/internal/par"
 )
 
 // StageSnapshot records the candidate values visible at one MKLGP stage —
@@ -36,10 +38,50 @@ type Answer struct {
 	Found bool
 }
 
+// evidence is the outcome of one (entity, relation) sub-question — the unit
+// the executor schedules, merges and memoises. Multi-hop bridges and
+// comparison arms each produce one evidence set; the executor merges them
+// into the Answer in input order, so the result is independent of how the
+// arms were scheduled. Immutability contract: consumers read the slices or
+// append their elements elsewhere, never write through them — memo hits
+// share ev/trusted/gcs by reference (only stages, which escape wholesale
+// into caller-owned Answers, are cloned; see cache.go).
+type evidence struct {
+	ev       []llm.Evidence
+	trusted  []confidence.TrustedNode
+	rejected int
+	gcs      []float64
+	stages   []StageSnapshot
+	// memoable marks history-independent evaluations (no node-level scoring,
+	// no isolated authority, no chunk fallback) — the only ones the evidence
+	// memo may store without perturbing later confidence values.
+	memoable bool
+}
+
+// arm pairs one sub-question's evidence with its deferred history credits.
+type arm struct {
+	e evidence
+	d *confidence.HistoryDelta
+	// vals is the arm's generated answer, filled only by intents that need
+	// it before merging (comparison).
+	vals []string
+}
+
+// absorb merges one evidence set's filtering diagnostics into the answer.
+func (ans *Answer) absorb(e evidence) {
+	ans.Trusted = append(ans.Trusted, e.trusted...)
+	ans.RejectedCount += e.rejected
+	ans.GraphConfidences = append(ans.GraphConfidences, e.gcs...)
+}
+
 // Query executes MKLGP (Algorithm 2) for a natural-language query. It is
 // safe for unbounded concurrent use: the whole evaluation runs against one
 // immutable snapshot loaded up front, so in-flight ingestion never changes
-// the view mid-query. With Config.AnswerCacheSize > 0, repeated queries
+// the view mid-query. Multi-hop bridge resolution and comparison arms fan
+// out across the worker pool (Config.Workers); sub-question results merge in
+// input order over deferred history credits, so the answer — values,
+// trusted-node order, confidences and stage snapshots — is bit-identical
+// whatever the pool size. With Config.AnswerCacheSize > 0, repeated queries
 // against the same snapshot generation are served from the answer cache.
 func (s *System) Query(q string) Answer {
 	ans, _ := s.queryCached(s.snap.Load(), q)
@@ -75,86 +117,162 @@ func (s *System) queryOn(sn *snapshot, q string) Answer {
 	return ans
 }
 
+// subQLimit bounds the interned sub-question prefixes: relations are parsed
+// out of free-text queries, so adversarial query diversity must not grow the
+// map without limit (flush-on-overflow, like the embedding cache).
+const subQLimit = 4096
+
+// subQuestion builds the canonical sub-question asked for (relation,
+// entity). The "What is the <relation> of " prefix is interned per relation:
+// hop and comparison fan-outs ask thousands of these, and building the
+// prefix used to cost a strings.ReplaceAll per call.
+func (s *System) subQuestion(relation, entity string) string {
+	s.subQMu.RLock()
+	p, ok := s.subQs[relation]
+	s.subQMu.RUnlock()
+	if ok {
+		return p + entity + "?"
+	}
+	p = "What is the " + strings.ReplaceAll(relation, "_", " ") + " of "
+	s.subQMu.Lock()
+	if len(s.subQs) >= subQLimit {
+		s.subQs = map[string]string{}
+	}
+	s.subQs[relation] = p
+	s.subQMu.Unlock()
+	return p + entity + "?"
+}
+
 // answerLookup resolves a single (entity, attribute) question.
 func (s *System) answerLookup(sn *snapshot, ans *Answer, entity, relation string) {
-	ev, trusted, rejected, gcs, stages := s.gatherEvidence(sn, ans.Query, entity, relation)
-	ans.Trusted = trusted
-	ans.RejectedCount = rejected
-	ans.GraphConfidences = gcs
-	ans.Stages = stages
-	if len(ev) == 0 {
+	e, d := s.gatherEvidence(sn, ans.Query, entity, relation)
+	s.mcc.History().Apply(d)
+	ans.absorb(e)
+	ans.Stages = e.stages
+	if len(e.ev) == 0 {
 		return
 	}
 	ans.Found = true
-	ans.Values = s.model.GenerateAnswer(ans.Query, ev) // line 7: trustworthy answers
+	ans.Values = s.model.GenerateAnswer(ans.Query, e.ev) // line 7: trustworthy answers
+}
+
+// evScratch pools the hot-loop buffers of gatherEvidence — the MCC candidate
+// list and the stage-snapshot accumulators — so steady-state queries stop
+// paying append-growth reallocations. Answers receive private exact-size
+// copies; pooled arrays never outlive one gatherEvidence call.
+type evScratch struct {
+	candidates []*linegraph.HomologousNode
+	stage1     []string
+	stage2     []string
+}
+
+var evScratchPool = sync.Pool{New: func() any { return new(evScratch) }}
+
+// copyStrings snapshots a scratch accumulator into an exact-size slice.
+func copyStrings(src []string) []string {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]string, len(src))
+	copy(out, src)
+	return out
 }
 
 // gatherEvidence is the retrieval heart shared by all intents: it returns
 // weighted evidence for (entity, relation) along with the filtering
-// diagnostics. With MKA it is a homologous line-graph lookup plus MCC; w/o
-// MKA it degrades to chunk retrieval with per-query LLM extraction.
-func (s *System) gatherEvidence(sn *snapshot, query, entity, relation string) (ev []llm.Evidence, trusted []confidence.TrustedNode, rejected int, gcs []float64, stages []StageSnapshot) {
+// diagnostics, plus the deferred history credits the caller must Apply once
+// its (possibly parallel) phase joins. With MKA it is a homologous
+// line-graph lookup plus MCC; w/o MKA it degrades to chunk retrieval with
+// per-query LLM extraction. History is only read, never written, inside this
+// function — that is what lets concurrent arms stay deterministic.
+func (s *System) gatherEvidence(sn *snapshot, query, entity, relation string) (evidence, *confidence.HistoryDelta) {
 	if s.cfg.DisableMKA || sn.sg == nil {
 		return s.gatherByChunks(sn, query, entity, relation)
 	}
+	if e, d, ok := s.evidence.get(sn.gen, entity, relation); ok {
+		return e, d
+	}
 	subj := kg.CanonicalID(s.model.Standardize(entity))
-	var candidates []*linegraph.HomologousNode
+	sc := evScratchPool.Get().(*evScratch)
+	defer evScratchPool.Put(sc)
+	candidates := sc.candidates[:0]
 	if n, ok := sn.sg.Lookup(subj, relation); ok {
 		candidates = append(candidates, n)
 	}
 	// Nested attributes flatten to underscore-joined paths
-	// (status → status_state); include them as alternative candidates.
-	sn.sg.ForEachNode(func(_ string, n *linegraph.HomologousNode) {
-		if n.SubjectID == subj && n.Name != relation && strings.HasPrefix(n.Name, relation+"_") {
-			candidates = append(candidates, n)
-		}
-	})
+	// (status → status_state); include them as alternative candidates. They
+	// come from the per-snapshot subject→attribute index — O(log n +
+	// matches) — except under the A/B reference knob, which re-enacts the
+	// seed's full node scan.
+	if s.cfg.DisableQueryIndex {
+		sn.sg.ForEachNode(func(_ string, n *linegraph.HomologousNode) {
+			if n.SubjectID == subj && n.Name != relation && strings.HasPrefix(n.Name, relation+"_") {
+				candidates = append(candidates, n)
+			}
+		})
+	} else {
+		candidates = append(candidates, sn.sg.NestedCandidates(subj, relation)...)
+	}
+	sc.candidates = candidates
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Key < candidates[j].Key })
 
 	// Stage 1 snapshot: everything the candidate subgraphs contain.
-	var stage1 []string
+	stage1 := sc.stage1[:0]
 	for _, n := range candidates {
 		for _, t := range sn.sg.MemberTriples(n) {
 			stage1 = append(stage1, t.Object)
 		}
 	}
+	sc.stage1 = stage1
 	if len(candidates) > 0 {
-		res := s.mcc.Run(sn.sg, candidates, s.cfg.Ablation)
-		var stage2 []string
+		res, d := s.mcc.RunDeferred(sn.sg, candidates, s.cfg.Ablation)
+		var e evidence
+		stage2 := sc.stage2[:0]
 		for _, a := range res.Assessments {
-			gcs = append(gcs, a.GraphConfidence)
+			e.gcs = append(e.gcs, a.GraphConfidence)
 			if !a.EliminatedByGraph {
 				for _, t := range sn.sg.MemberTriples(a.Node) {
 					stage2 = append(stage2, t.Object)
 				}
 			}
 		}
-		trusted = res.SVs
-		rejected = len(res.LVs)
-		var stage3 []string
+		sc.stage2 = stage2
+		e.trusted = res.SVs
+		e.rejected = len(res.LVs)
+		stage3 := make([]string, 0, len(res.SVs))
+		e.ev = make([]llm.Evidence, 0, len(res.SVs))
 		for _, tn := range res.SVs {
 			stage3 = append(stage3, tn.Triple.Object)
-			ev = append(ev, llm.Evidence{Value: tn.Triple.Object, Weight: tn.Confidence, Source: tn.Triple.Source, Verified: tn.Verified})
+			e.ev = append(e.ev, llm.Evidence{Value: tn.Triple.Object, Weight: tn.Confidence, Source: tn.Triple.Source, Verified: tn.Verified})
 		}
-		stages = []StageSnapshot{
-			{Stage: "before-subgraph-filter", Values: stage1},
-			{Stage: "before-node-filter", Values: stage2},
+		e.stages = []StageSnapshot{
+			{Stage: "before-subgraph-filter", Values: copyStrings(stage1)},
+			{Stage: "before-node-filter", Values: copyStrings(stage2)},
 			{Stage: "after-node-filter", Values: stage3},
 		}
-		return
+		// Node-level scoring reads the evolving source history; everything
+		// else (fast path, graph elimination, ablated pass-through) is a pure
+		// function of the snapshot and may be memoised exactly.
+		e.memoable = res.NodesScored == 0
+		if e.memoable {
+			s.evidence.put(sn.gen, entity, relation, e, d)
+		}
+		return e, d
 	}
-	// No homologous group: try the isolated points.
+	// No homologous group: try the isolated points. Isolated authority reads
+	// the history store, so the outcome is never memoised.
 	if t, ok := sn.sg.LookupIsolated(subj, relation); ok {
 		tn := s.mcc.AssessIsolated(sn.sg, t, s.cfg.Ablation)
-		trusted = append(trusted, tn)
-		ev = append(ev, llm.Evidence{Value: t.Object, Weight: tn.Confidence, Source: t.Source, Verified: tn.Verified})
 		vals := []string{t.Object}
-		stages = []StageSnapshot{
-			{Stage: "before-subgraph-filter", Values: vals},
-			{Stage: "before-node-filter", Values: vals},
-			{Stage: "after-node-filter", Values: vals},
-		}
-		return
+		return evidence{
+			ev:      []llm.Evidence{{Value: t.Object, Weight: tn.Confidence, Source: t.Source, Verified: tn.Verified}},
+			trusted: []confidence.TrustedNode{tn},
+			stages: []StageSnapshot{
+				{Stage: "before-subgraph-filter", Values: vals},
+				{Stage: "before-node-filter", Values: vals},
+				{Stage: "after-node-filter", Values: vals},
+			},
+		}, nil
 	}
 	// Entity or attribute absent from the graph: degrade to chunk retrieval.
 	return s.gatherByChunks(sn, query, entity, relation)
@@ -166,7 +284,7 @@ func (s *System) gatherEvidence(sn *snapshot, query, entity, relation string) (e
 // ablated). This is both slower (per-query LLM extraction) and lossier
 // (top-k misses sparse evidence) than the line-graph path — the Table III
 // "w/o MKA" behaviour.
-func (s *System) gatherByChunks(sn *snapshot, query, entity, relation string) (ev []llm.Evidence, trusted []confidence.TrustedNode, rejected int, gcs []float64, stages []StageSnapshot) {
+func (s *System) gatherByChunks(sn *snapshot, query, entity, relation string) (evidence, *confidence.HistoryDelta) {
 	k := s.cfg.RetrievalK * 4
 	hits := sn.index.SearchVector(s.embeds.get(query), k, nil)
 	subj := kg.CanonicalID(s.model.Standardize(entity))
@@ -195,40 +313,44 @@ func (s *System) gatherByChunks(sn *snapshot, query, entity, relation string) (e
 		}
 	}
 	if tmp.NumTriples() == 0 {
-		return nil, nil, 0, nil, nil
+		return evidence{}, nil
 	}
+	var e evidence
 	adhoc := linegraph.Build(tmp)
 	if n, ok := adhoc.Lookup(subj, relation); ok {
-		res := s.mcc.Run(adhoc, []*linegraph.HomologousNode{n}, s.cfg.Ablation)
-		trusted = res.SVs
-		rejected = len(res.LVs)
+		res, d := s.mcc.RunDeferred(adhoc, []*linegraph.HomologousNode{n}, s.cfg.Ablation)
+		e.trusted = res.SVs
+		e.rejected = len(res.LVs)
 		var stage3 []string
 		for _, a := range res.Assessments {
-			gcs = append(gcs, a.GraphConfidence)
+			e.gcs = append(e.gcs, a.GraphConfidence)
 		}
 		for _, tn := range res.SVs {
 			stage3 = append(stage3, tn.Triple.Object)
-			ev = append(ev, llm.Evidence{Value: tn.Triple.Object, Weight: tn.Confidence, Source: tn.Triple.Source, Verified: tn.Verified})
+			e.ev = append(e.ev, llm.Evidence{Value: tn.Triple.Object, Weight: tn.Confidence, Source: tn.Triple.Source, Verified: tn.Verified})
 		}
-		stages = []StageSnapshot{
+		e.stages = []StageSnapshot{
 			{Stage: "before-subgraph-filter", Values: stage1},
 			{Stage: "before-node-filter", Values: stage1},
 			{Stage: "after-node-filter", Values: stage3},
 		}
-		return
+		return e, d
 	}
 	// Single extracted claim.
 	for _, id := range tmp.TripleIDs() {
 		t, _ := tmp.Triple(id)
 		tn := s.mcc.AssessIsolated(adhoc, t, s.cfg.Ablation)
-		trusted = append(trusted, tn)
-		ev = append(ev, llm.Evidence{Value: t.Object, Weight: tn.Confidence, Source: t.Source, Verified: tn.Verified})
+		e.trusted = append(e.trusted, tn)
+		e.ev = append(e.ev, llm.Evidence{Value: t.Object, Weight: tn.Confidence, Source: t.Source, Verified: tn.Verified})
 	}
-	stages = []StageSnapshot{{Stage: "before-subgraph-filter", Values: stage1}}
-	return
+	e.stages = []StageSnapshot{{Stage: "before-subgraph-filter", Values: stage1}}
+	return e, nil
 }
 
 // answerMultiHop resolves bridge questions: entity —rel₁→ bridge —rel₂→ ans.
+// Hop 2 resolves every bridge concurrently on the worker pool; the merge
+// happens in bridge input order over deferred history credits, so the answer
+// is bit-identical to a sequential evaluation.
 func (s *System) answerMultiHop(sn *snapshot, ans *Answer) {
 	lf := ans.LogicForm
 	if len(lf.Entities) == 0 || len(lf.Relations) < 2 {
@@ -237,25 +359,26 @@ func (s *System) answerMultiHop(sn *snapshot, ans *Answer) {
 	}
 	entity, rel1, rel2 := lf.Entities[0], lf.Relations[0], lf.Relations[1]
 	// Hop 1: find the bridge entity.
-	hop1Q := "What is the " + strings.ReplaceAll(rel1, "_", " ") + " of " + entity + "?"
-	ev1, trusted1, rej1, gcs1, _ := s.gatherEvidence(sn, hop1Q, entity, rel1)
-	ans.Trusted = append(ans.Trusted, trusted1...)
-	ans.RejectedCount += rej1
-	ans.GraphConfidences = append(ans.GraphConfidences, gcs1...)
-	if len(ev1) == 0 {
+	hop1Q := s.subQuestion(rel1, entity)
+	e1, d1 := s.gatherEvidence(sn, hop1Q, entity, rel1)
+	s.mcc.History().Apply(d1)
+	ans.absorb(e1)
+	if len(e1.ev) == 0 {
 		return
 	}
-	bridges := s.model.GenerateAnswer(hop1Q, ev1)
-	// Hop 2: resolve the target attribute of each bridge (first success wins;
-	// multi-truth bridges merge their answers).
+	bridges := s.model.GenerateAnswer(hop1Q, e1.ev)
+	// Hop 2: resolve the target attribute of each bridge (multi-truth
+	// bridges merge their answers, in bridge order).
+	arms := make([]arm, len(bridges))
+	par.ForEach(s.Workers(), len(bridges), func(i int) {
+		q := s.subQuestion(rel2, bridges[i])
+		arms[i].e, arms[i].d = s.gatherEvidence(sn, q, bridges[i], rel2)
+	})
 	var ev2 []llm.Evidence
-	for _, bridge := range bridges {
-		hop2Q := "What is the " + strings.ReplaceAll(rel2, "_", " ") + " of " + bridge + "?"
-		ev, trusted2, rej2, gcs2, _ := s.gatherEvidence(sn, hop2Q, bridge, rel2)
-		ans.Trusted = append(ans.Trusted, trusted2...)
-		ans.RejectedCount += rej2
-		ans.GraphConfidences = append(ans.GraphConfidences, gcs2...)
-		ev2 = append(ev2, ev...)
+	for i := range arms {
+		s.mcc.History().Apply(arms[i].d)
+		ans.absorb(arms[i].e)
+		ev2 = append(ev2, arms[i].e.ev...)
 	}
 	if len(ev2) == 0 {
 		return
@@ -264,7 +387,12 @@ func (s *System) answerMultiHop(sn *snapshot, ans *Answer) {
 	ans.Values = s.model.GenerateAnswer(ans.Query, ev2)
 }
 
-// answerComparison resolves "do X and Y have the same attr?" questions.
+// answerComparison resolves "do X and Y have the same attr?" questions. With
+// more than one worker the two arms resolve concurrently (the second arm is
+// speculative); with a single worker the second arm is skipped outright when
+// the first resolves to nothing. Either way the second arm's evidence is
+// merged only after the first resolved, so both modes produce the same
+// answer.
 func (s *System) answerComparison(sn *snapshot, ans *Answer) {
 	lf := ans.LogicForm
 	if len(lf.Entities) < 2 || len(lf.Relations) == 0 {
@@ -272,29 +400,50 @@ func (s *System) answerComparison(sn *snapshot, ans *Answer) {
 		return
 	}
 	rel := lf.Relations[0]
-	resolve := func(entity string) []string {
-		q := "What is the " + strings.ReplaceAll(rel, "_", " ") + " of " + entity + "?"
-		ev, trusted, rej, gcs, _ := s.gatherEvidence(sn, q, entity, rel)
-		ans.Trusted = append(ans.Trusted, trusted...)
-		ans.RejectedCount += rej
-		ans.GraphConfidences = append(ans.GraphConfidences, gcs...)
-		if len(ev) == 0 {
-			return nil
+	resolve := func(entity string) arm {
+		q := s.subQuestion(rel, entity)
+		var a arm
+		a.e, a.d = s.gatherEvidence(sn, q, entity, rel)
+		if len(a.e.ev) > 0 {
+			a.vals = s.model.GenerateAnswer(q, a.e.ev)
 		}
-		return s.model.GenerateAnswer(q, ev)
+		return a
 	}
-	v1 := resolve(lf.Entities[0])
-	v2 := resolve(lf.Entities[1])
-	if v1 == nil || v2 == nil {
+	var a0, a1 arm
+	if s.Workers() > 1 {
+		par.ForEach(2, 2, func(i int) {
+			if i == 0 {
+				a0 = resolve(lf.Entities[0])
+			} else {
+				a1 = resolve(lf.Entities[1])
+			}
+		})
+	} else {
+		a0 = resolve(lf.Entities[0])
+		if a0.vals != nil {
+			a1 = resolve(lf.Entities[1])
+		}
+	}
+	s.mcc.History().Apply(a0.d)
+	ans.absorb(a0.e)
+	if a0.vals == nil {
+		// First entity unresolvable: the second arm was skipped (sequential)
+		// or is discarded unmerged (speculative) — identical output either
+		// way.
+		return
+	}
+	s.mcc.History().Apply(a1.d)
+	ans.absorb(a1.e)
+	if a1.vals == nil {
 		return
 	}
 	ans.Found = true
 	set := map[string]bool{}
-	for _, v := range v1 {
+	for _, v := range a0.vals {
 		set[kg.CanonicalID(v)] = true
 	}
 	same := false
-	for _, v := range v2 {
+	for _, v := range a1.vals {
 		if set[kg.CanonicalID(v)] {
 			same = true
 			break

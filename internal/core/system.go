@@ -69,6 +69,18 @@ type Config struct {
 	// A/B-benchmark the incremental maintenance path; leave it off in
 	// production.
 	DisableIncrementalSG bool
+	// DisableQueryIndex makes nested-attribute candidate lookup fall back to
+	// the full homologous-node scan instead of the per-snapshot
+	// subject→attribute index. Candidates (and therefore answers) are
+	// identical either way; the knob exists so the query bench can measure
+	// the index against the sequential reference. Leave it off in production.
+	DisableQueryIndex bool
+	// DisableEvidenceMemo turns off the generation-keyed (entity, relation)
+	// evidence memo. Unlike the opt-in answer cache the memo is exact: it
+	// only stores history-independent evaluations and replays their deferred
+	// history credits on every hit, so answers are bit-identical with the
+	// memo on or off. The knob exists for A/B benchmarking.
+	DisableEvidenceMemo bool
 }
 
 // snapshot is one immutable serving state: the knowledge graph, its
@@ -111,9 +123,20 @@ type System struct {
 
 	// embeds memoises query embeddings (pure function of the text, never
 	// invalidated); answers memoises whole evaluations per snapshot
-	// generation (flushed on every publish). See cache.go.
-	embeds  *embedCache
-	answers *answerCache
+	// generation (flushed on every publish); evidence memoises
+	// history-independent (entity, relation) sub-question evaluations per
+	// generation so fan-out sub-questions that repeat never re-run MCC. See
+	// cache.go.
+	embeds   *embedCache
+	answers  *answerCache
+	evidence *evidenceMemo
+
+	// subQs interns the "What is the <relation> of " sub-question prefix per
+	// relation, replacing a strings.ReplaceAll per hop/arm on the hot path.
+	// Relations come from free-text query parsing, so like the other caches
+	// it is bounded (flush-on-overflow, see subQuestion).
+	subQMu sync.RWMutex
+	subQs  map[string]string
 
 	// mu serialises the write path and guards the build-cost counters.
 	mu sync.Mutex
@@ -151,6 +174,8 @@ func NewSystem(cfg Config) *System {
 		extractor:   extract.New(ingestModel),
 		embeds:      newEmbedCache(retrieval.DefaultDim),
 		answers:     newAnswerCache(cfg.AnswerCacheSize),
+		evidence:    newEvidenceMemo(cfg.DisableEvidenceMemo),
+		subQs:       map[string]string{},
 	}
 	s.snap.Store(&snapshot{
 		graph: kg.New(),
@@ -177,6 +202,23 @@ func (s *System) Workers() int {
 // (workers <= 0 selects GOMAXPROCS) — the bounded fan-out primitive the
 // engine uses for ingestion stages and batched query serving.
 func Parallel(workers, n int, fn func(int)) { par.ForEach(workers, n, fn) }
+
+// QueryBatch evaluates a batch of queries concurrently on the worker pool
+// (Config.Workers) and returns the answers in input order. The whole batch
+// runs against one published snapshot, so every answer reflects the same
+// corpus state even while ingestion commits concurrently — the batch-serving
+// entry point behind AskConcurrent and the query bench. Workers bounds each
+// fan-out level, not a global budget: a batched multi-hop query briefly adds
+// its own hop-2 arms on top of the batch goroutines, the usual transient
+// oversubscription the Go scheduler absorbs.
+func (s *System) QueryBatch(queries []string) []Answer {
+	sn := s.snap.Load()
+	out := make([]Answer, len(queries))
+	par.ForEach(s.Workers(), len(queries), func(i int) {
+		out[i], _ = s.queryCached(sn, queries[i])
+	})
+	return out
+}
 
 // Model exposes the serving-side simulated LLM (query-time usage
 // accounting). Ingestion-time extraction runs on a separate same-seed model

@@ -1,0 +1,142 @@
+package linegraph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"multirag/internal/kg"
+)
+
+// scanNested is the reference nested-candidate lookup: the full node scan the
+// per-snapshot index replaces. It mirrors the pre-index query-path condition
+// exactly (same subject, strictly-nested name).
+func scanNested(sg *SG, subjectID, relation string) []*HomologousNode {
+	var out []*HomologousNode
+	sg.nodes.forEach(func(_ string, n *HomologousNode) {
+		if n.SubjectID == subjectID && n.Name != relation && strings.HasPrefix(n.Name, relation+"_") {
+			out = append(out, n)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func TestNestedCandidatesMatchScan(t *testing.T) {
+	g := kg.New()
+	add := func(subj, pred, obj, src string) {
+		t.Helper()
+		g.AddEntity(subj, "Entity", "t")
+		if _, err := g.AddTriple(kg.Triple{
+			Subject: kg.CanonicalID(subj), Predicate: pred, Object: obj, Source: src, Weight: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// status has two nested attributes plus a decoy sharing the prefix text
+	// without the separator (statuses must NOT match status).
+	for _, src := range []string{"a", "b"} {
+		add("CA981", "status", "Delayed", src)
+		add("CA981", "status_state", "Boarding gate closed", src)
+		add("CA981", "status_reason", "Typhoon", src)
+		add("CA981", "statuses", "many", src)
+		add("MU588", "status_state", "On time", src)
+	}
+	sg := Build(g)
+	for _, c := range []struct{ subj, rel string }{
+		{"ca981", "status"}, {"mu588", "status"}, {"ca981", "statuses"},
+		{"ca981", "gate"}, {"zz999", "status"},
+	} {
+		got := sg.NestedCandidates(c.subj, c.rel)
+		want := scanNested(sg, c.subj, c.rel)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("NestedCandidates(%q,%q) = %v, scan = %v", c.subj, c.rel, keysOf(got), keysOf(want))
+		}
+	}
+	if got := sg.NestedCandidates("ca981", "status"); len(got) != 2 {
+		t.Fatalf("expected the two nested status attributes, got %v", keysOf(got))
+	}
+}
+
+func keysOf(ns []*HomologousNode) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = n.Key
+	}
+	return out
+}
+
+// TestNestedCandidatesAcrossDeltaGenerations is the COW-friendliness check:
+// every BuildDelta generation rebuilds its own lazy index, so lookups must
+// track the delta (new nested attributes appear, none leak backwards into
+// the previous snapshot's index).
+func TestNestedCandidatesAcrossDeltaGenerations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := kg.New()
+	subjects := []string{"e0", "e1", "e2", "e3"}
+	rels := []string{"status", "status_state", "status_reason", "price", "price_open"}
+	addBatch := func(n int) []string {
+		ids := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			subj := subjects[rng.Intn(len(subjects))]
+			g.AddEntity(subj, "Entity", "t")
+			id, err := g.AddTriple(kg.Triple{
+				Subject: kg.CanonicalID(subj), Predicate: rels[rng.Intn(len(rels))],
+				Object: fmt.Sprintf("v%d", rng.Intn(3)), Source: fmt.Sprintf("s%d", rng.Intn(4)), Weight: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		return ids
+	}
+	addBatch(20)
+	sg := Build(g)
+	for batch := 0; batch < 6; batch++ {
+		prev := sg
+		// Force-materialise the previous generation's index, then ingest.
+		prevStatus := map[string][]string{}
+		for _, s := range subjects {
+			prevStatus[s] = keysOf(prev.NestedCandidates(kg.CanonicalID(s), "status"))
+		}
+		ids := addBatch(10)
+		sg = BuildDelta(prev, g, ids)
+		for _, s := range subjects {
+			subj := kg.CanonicalID(s)
+			for _, rel := range []string{"status", "price"} {
+				got := sg.NestedCandidates(subj, rel)
+				want := scanNested(sg, subj, rel)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("batch %d: NestedCandidates(%q,%q) = %v, scan = %v",
+						batch, subj, rel, keysOf(got), keysOf(want))
+				}
+			}
+			// The already-built previous index must not see the new batch.
+			if got := keysOf(prev.NestedCandidates(subj, "status")); !reflect.DeepEqual(got, prevStatus[s]) {
+				t.Fatalf("batch %d: previous generation's index changed: %v vs %v", batch, got, prevStatus[s])
+			}
+		}
+	}
+}
+
+// TestNodeScansCountsForEachNode pins the instrumentation hook: index-backed
+// lookups leave the counter untouched, a ForEachNode walk charges one count
+// per visited node.
+func TestNodeScansCountsForEachNode(t *testing.T) {
+	g := graphWithConflicts(t)
+	sg := Build(g)
+	sg.Lookup("ca981", "status")
+	sg.NestedCandidates("ca981", "status")
+	sg.SubjectAttrNames("heat")
+	if got := sg.NodeScans(); got != 0 {
+		t.Fatalf("index lookups charged %d node scans, want 0", got)
+	}
+	sg.ForEachNode(func(string, *HomologousNode) {})
+	if got := sg.NodeScans(); got != int64(sg.NumNodes()) {
+		t.Fatalf("full walk charged %d scans, want %d", got, sg.NumNodes())
+	}
+}

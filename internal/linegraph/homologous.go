@@ -2,7 +2,9 @@ package linegraph
 
 import (
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"multirag/internal/kg"
 )
@@ -57,6 +59,23 @@ type SG struct {
 	// concurrent readers of a published snapshot.
 	isoOnce  sync.Once
 	isolated []string
+
+	// attrNames is the per-snapshot evidence index: subject entity ID →
+	// sorted attribute names of its homologous nodes. It serves the
+	// nested-attribute candidate lookup of the query path (status →
+	// status_state), which otherwise needs a full node scan per sub-question.
+	// Like isolated it is materialised lazily and amortised per snapshot
+	// generation: BuildDelta starts every generation with a fresh (empty)
+	// index, so the one-off O(n) fill is paid by the first query against that
+	// generation and shared by all later ones.
+	attrOnce  sync.Once
+	attrNames map[string][]string
+
+	// nodeScans counts homologous nodes visited through ForEachNode — the
+	// instrumentation hook behind the "no full scan on the query hot path"
+	// tests. Stats/debug walks go through the overlay directly and are not
+	// counted.
+	nodeScans atomic.Int64
 }
 
 // Build runs homologous subgraph matching (§III-C) over g and assembles SG′.
@@ -145,8 +164,59 @@ func (sg *SG) Node(key string) (*HomologousNode, bool) { return sg.nodes.get(key
 // NumNodes returns the number of homologous nodes (keys with ≥2 members).
 func (sg *SG) NumNodes() int { return sg.nodes.n }
 
-// ForEachNode visits every homologous node, in unspecified order.
-func (sg *SG) ForEachNode(fn func(key string, n *HomologousNode)) { sg.nodes.forEach(fn) }
+// ForEachNode visits every homologous node, in unspecified order. Each visit
+// is charged to the NodeScans counter; hot paths should use Lookup or
+// NestedCandidates instead.
+func (sg *SG) ForEachNode(fn func(key string, n *HomologousNode)) {
+	sg.nodes.forEach(func(k string, n *HomologousNode) {
+		sg.nodeScans.Add(1)
+		fn(k, n)
+	})
+}
+
+// NodeScans reports how many homologous nodes ForEachNode has visited over
+// this SG's lifetime. Tests use it to assert the query path stays scan-free.
+func (sg *SG) NodeScans() int64 { return sg.nodeScans.Load() }
+
+// SubjectAttrNames returns the sorted attribute names of every homologous
+// node whose subject is subjectID (nil when the subject has none). The
+// backing index is built on first call and cached for the lifetime of this
+// SG; the fill is synchronised, so concurrent readers of a published
+// snapshot are safe. The returned slice is shared — callers must not mutate
+// it.
+func (sg *SG) SubjectAttrNames(subjectID string) []string {
+	sg.attrOnce.Do(func() {
+		idx := make(map[string][]string)
+		sg.nodes.forEach(func(_ string, n *HomologousNode) {
+			idx[n.SubjectID] = append(idx[n.SubjectID], n.Name)
+		})
+		for _, names := range idx {
+			sort.Strings(names)
+		}
+		sg.attrNames = idx
+	})
+	return sg.attrNames[subjectID]
+}
+
+// NestedCandidates returns the homologous nodes holding subjectID's nested
+// attributes under relation — names of the form relation+"_..." (status →
+// status_state) — in name order. The lookup is a binary search over the
+// subject's sorted attribute names plus one key probe per match: O(log n +
+// matches) against the per-snapshot index, never a node scan.
+func (sg *SG) NestedCandidates(subjectID, relation string) []*HomologousNode {
+	names := sg.SubjectAttrNames(subjectID)
+	if len(names) == 0 {
+		return nil
+	}
+	prefix := relation + "_"
+	var out []*HomologousNode
+	for i := sort.SearchStrings(names, prefix); i < len(names) && strings.HasPrefix(names[i], prefix); i++ {
+		if n, ok := sg.Lookup(subjectID, names[i]); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
 // NumIsolated returns the number of isolated points (single-member keys).
 func (sg *SG) NumIsolated() int { return sg.isoIndex.n }

@@ -173,7 +173,25 @@ func (s *System) IngestFiles(files ...File) error {
 // Ask is safe for unbounded concurrent use, including while IngestFiles is
 // running: each call evaluates against one immutable snapshot.
 func (s *System) Ask(query string) Answer {
-	a := s.inner.Query(query)
+	return convertAnswer(s.inner.Query(query))
+}
+
+// AskConcurrent answers a batch of queries, fanning them out across the
+// worker pool (Config.Workers, default GOMAXPROCS). Results are returned in
+// input order. The whole batch evaluates against one published snapshot, so
+// every answer reflects the same corpus state; AskConcurrent may still be
+// interleaved with IngestFiles (later batches observe later snapshots).
+func (s *System) AskConcurrent(queries []string) []Answer {
+	answers := s.inner.QueryBatch(queries)
+	out := make([]Answer, len(answers))
+	for i := range answers {
+		out[i] = convertAnswer(answers[i])
+	}
+	return out
+}
+
+// convertAnswer maps a core answer onto the public shape.
+func convertAnswer(a core.Answer) Answer {
 	out := Answer{
 		Query:            a.Query,
 		Values:           a.Values,
@@ -189,19 +207,6 @@ func (s *System) Ask(query string) Answer {
 			Confidence: tn.Confidence,
 		})
 	}
-	return out
-}
-
-// AskConcurrent answers a batch of queries, fanning them out across the
-// worker pool (Config.Workers, default GOMAXPROCS). Results are returned in
-// input order. Each query still evaluates against whatever snapshot is
-// current when it starts, so AskConcurrent may be interleaved with
-// IngestFiles.
-func (s *System) AskConcurrent(queries []string) []Answer {
-	out := make([]Answer, len(queries))
-	core.Parallel(s.inner.Workers(), len(queries), func(i int) {
-		out[i] = s.Ask(queries[i])
-	})
 	return out
 }
 
