@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_SCALE ?= 0.12
 
-.PHONY: check vet build test race bench bench-retrieval bench-graph bench-query clean
+.PHONY: check vet build test race bench bench-retrieval bench-graph bench-query bench-ingest clean
 
 # check is the CI entry point: static analysis, full build, race-enabled tests.
 check: vet build race
@@ -42,5 +42,12 @@ bench-graph:
 bench-query:
 	$(GO) run ./cmd/benchtables -query -scale $(BENCH_SCALE) -json BENCH_query.json
 
+# bench-ingest runs the ingest-throughput microbenchmarks (serialized
+# whole-call-locked baseline vs the pipelined group-committing ingest, over a
+# producers x corpus-size grid, equivalence-checked) and records the timing
+# report.
+bench-ingest:
+	$(GO) run ./cmd/benchtables -ingest -scale $(BENCH_SCALE) -json BENCH_ingest.json
+
 clean:
-	rm -f BENCH_core.json BENCH_retrieval.json BENCH_graph.json BENCH_query.json
+	rm -f BENCH_core.json BENCH_retrieval.json BENCH_graph.json BENCH_query.json BENCH_ingest.json

@@ -8,6 +8,7 @@
 //	benchtables -retrieval      # retrieval-layer microbenchmarks only
 //	benchtables -graph          # graph-core microbenchmarks only
 //	benchtables -query          # query-executor microbenchmarks only
+//	benchtables -ingest         # ingest-throughput microbenchmarks only
 //	benchtables -scale 0.2      # quick run at 20% workload
 //	benchtables -seed 7         # different generation seed
 //	benchtables -json BENCH_core.json   # also write per-job wall times as JSON
@@ -29,6 +30,7 @@ func main() {
 	retr := flag.Bool("retrieval", false, "run only the retrieval-layer microbenchmarks")
 	graph := flag.Bool("graph", false, "run only the graph-core microbenchmarks")
 	query := flag.Bool("query", false, "run only the query-executor microbenchmarks")
+	ingest := flag.Bool("ingest", false, "run only the ingest-throughput microbenchmarks")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (entities and queries)")
 	seed := flag.Uint64("seed", 1, "dataset / model seed")
 	jsonOut := flag.String("json", "", "write per-job wall-clock timings to this JSON file")
@@ -43,19 +45,20 @@ func main() {
 	var jobs []job
 	var graphDetail *bench.GraphReport
 	var queryDetail *bench.QueryReport
+	var ingestDetail *bench.IngestReport
 	add := func(name string, run func(bench.Options) error) {
 		jobs = append(jobs, job{name, run})
 	}
 	switch {
 	case *retr:
-		if *table > 0 || *figure > 0 || *graph || *query {
-			fmt.Fprintln(os.Stderr, "benchtables: -retrieval cannot be combined with -table/-figure/-graph/-query")
+		if *table > 0 || *figure > 0 || *graph || *query || *ingest {
+			fmt.Fprintln(os.Stderr, "benchtables: -retrieval cannot be combined with -table/-figure/-graph/-query/-ingest")
 			os.Exit(2)
 		}
 		add("Retrieval", bench.Retrieval)
 	case *graph:
-		if *table > 0 || *figure > 0 || *query {
-			fmt.Fprintln(os.Stderr, "benchtables: -graph cannot be combined with -table/-figure/-query")
+		if *table > 0 || *figure > 0 || *query || *ingest {
+			fmt.Fprintln(os.Stderr, "benchtables: -graph cannot be combined with -table/-figure/-query/-ingest")
 			os.Exit(2)
 		}
 		add("Graph", func(o bench.Options) error {
@@ -64,13 +67,23 @@ func main() {
 			return err
 		})
 	case *query:
-		if *table > 0 || *figure > 0 {
-			fmt.Fprintln(os.Stderr, "benchtables: -query cannot be combined with -table/-figure")
+		if *table > 0 || *figure > 0 || *ingest {
+			fmt.Fprintln(os.Stderr, "benchtables: -query cannot be combined with -table/-figure/-ingest")
 			os.Exit(2)
 		}
 		add("Query", func(o bench.Options) error {
 			rep, err := bench.QueryBenchReport(o)
 			queryDetail = rep
+			return err
+		})
+	case *ingest:
+		if *table > 0 || *figure > 0 {
+			fmt.Fprintln(os.Stderr, "benchtables: -ingest cannot be combined with -table/-figure")
+			os.Exit(2)
+		}
+		add("Ingest", func(o bench.Options) error {
+			rep, err := bench.IngestBenchReport(o)
+			ingestDetail = rep
 			return err
 		})
 	case *table > 0:
@@ -116,12 +129,13 @@ func main() {
 		Seconds float64 `json:"seconds"`
 	}
 	report := struct {
-		Seed    uint64             `json:"seed"`
-		Scale   float64            `json:"scale"`
-		Jobs    []timing           `json:"jobs"`
-		Seconds float64            `json:"total_seconds"`
-		Graph   *bench.GraphReport `json:"graph,omitempty"`
-		Query   *bench.QueryReport `json:"query,omitempty"`
+		Seed    uint64              `json:"seed"`
+		Scale   float64             `json:"scale"`
+		Jobs    []timing            `json:"jobs"`
+		Seconds float64             `json:"total_seconds"`
+		Graph   *bench.GraphReport  `json:"graph,omitempty"`
+		Query   *bench.QueryReport  `json:"query,omitempty"`
+		Ingest  *bench.IngestReport `json:"ingest,omitempty"`
 	}{Seed: *seed, Scale: *scale}
 	for _, j := range jobs {
 		start := time.Now()
@@ -136,6 +150,7 @@ func main() {
 	}
 	report.Graph = graphDetail
 	report.Query = queryDetail
+	report.Ingest = ingestDetail
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -10,6 +10,8 @@
 //	multirag -demo -ask "..." -explain
 //	multirag -demo -load 2000             # closed-loop latency test (p50/p95/p99)
 //	multirag -demo -load 2000 -qps 500    # open-loop at a target arrival rate
+//	multirag -ingest-load 500 -producers 4          # pipelined ingest load test
+//	multirag -ingest-load 500 -producers 4 -serial-ingest   # serialized baseline
 //
 // File formats are inferred from extensions: .csv, .json, .xml, .kg, .txt.
 package main
@@ -23,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"multirag"
@@ -46,6 +49,9 @@ func main() {
 		retr    = flag.String("retrieve", "", "retrieve supporting documents for a query")
 		load    = flag.Int("load", 0, "run a query load test of this many requests (0 = off)")
 		qps     = flag.Float64("qps", 0, "offered arrival rate for -load (0 = closed loop at pool concurrency)")
+		ingLoad = flag.Int("ingest-load", 0, "run an ingest load test of this many synthetic files (0 = off)")
+		prods   = flag.Int("producers", 0, "concurrent producers for -ingest-load (0 = GOMAXPROCS)")
+		serial  = flag.Bool("serial-ingest", false, "use the serialized ingest baseline instead of the pipelined group commit (A/B)")
 	)
 	flag.Parse()
 
@@ -55,6 +61,7 @@ func main() {
 		Shards:          *shards,
 		DisablePostings: *noPost,
 		AnswerCache:     *cache,
+		SerializeIngest: *serial,
 	})
 
 	if *demo {
@@ -87,8 +94,11 @@ func main() {
 			fatal("ingest: %v", err)
 		}
 	}
-	if !*demo && *ingest == "" {
-		fmt.Fprintln(os.Stderr, "multirag: nothing ingested; use -demo or -ingest (see -h)")
+	if *ingLoad > 0 {
+		runIngestLoad(sys, *ingLoad, *prods)
+	}
+	if !*demo && *ingest == "" && *ingLoad == 0 {
+		fmt.Fprintln(os.Stderr, "multirag: nothing ingested; use -demo, -ingest or -ingest-load (see -h)")
 		os.Exit(2)
 	}
 
@@ -222,6 +232,69 @@ func runLoad(sys *multirag.System, queries []string, qps float64, workers int) {
 	fmt.Printf("  latency: p50 %v  p95 %v  p99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), sorted[n-1].Round(time.Microsecond))
+}
+
+// runIngestLoad drives n synthetic files through IngestFiles from a shared
+// stream drained by `producers` goroutines — the ingest mirror of the query
+// -load mode. It reports aggregate files/s plus the per-call commit-latency
+// distribution (each call's latency spans its fan-out, any group-commit
+// queueing and the snapshot publish).
+func runIngestLoad(sys *multirag.System, n, producers int) {
+	if producers <= 0 {
+		producers = runtime.GOMAXPROCS(0)
+	}
+	lat := make([]time.Duration, n)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for w := 0; w < producers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f := ingestLoadFile(i)
+				t0 := time.Now()
+				if err := sys.IngestFiles(f); err != nil {
+					fatal("ingest-load file %d: %v", i, err)
+				}
+				lat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	total := time.Since(start)
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) time.Duration { return sorted[int(p*float64(n-1))] }
+	st := sys.Stats()
+	fmt.Printf("ingest load test: %d files, %d producers\n", n, producers)
+	fmt.Printf("  throughput: %.0f files/s in %v (%d triples, %d chunks indexed)\n",
+		float64(n)/total.Seconds(), total.Round(time.Millisecond), st.Triples, st.Chunks)
+	fmt.Printf("  commit latency: p50 %v  p95 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), sorted[n-1].Round(time.Microsecond))
+}
+
+// ingestLoadFile synthesises the i-th file of the ingest-load stream: a small
+// kg-format feed whose subjects recur across the stream, so homologous groups
+// keep growing the way repeated multi-source feeds grow them in practice.
+func ingestLoadFile(i int) multirag.File {
+	subj := fmt.Sprintf("Flight %d", i%200)
+	content := fmt.Sprintf("%s|status|%s\n%s|gate|G%d\n%s|delay_reason|%s\n",
+		subj, []string{"On time", "Delayed", "Boarding"}[i%3],
+		subj, i%40,
+		subj, []string{"Weather", "Crew", "Traffic"}[i%3])
+	return multirag.File{
+		Domain:  "flights",
+		Source:  fmt.Sprintf("feed-%d", i%8),
+		Name:    fmt.Sprintf("update-%d", i),
+		Format:  "kg",
+		Content: []byte(content),
+	}
 }
 
 func demoFiles() []multirag.File {

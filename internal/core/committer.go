@@ -1,0 +1,254 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"multirag/internal/kg"
+	"multirag/internal/linegraph"
+	"multirag/internal/retrieval"
+)
+
+// maxPendingBatches bounds the prepared-batch queue: at most this many Ingest
+// calls may be past admission (preparing or waiting to commit) at once.
+// Later callers block in admit until the committer drains a group, which
+// caps the memory held by recorded-but-uncommitted extraction output.
+const maxPendingBatches = 64
+
+// groupWindow caps the group-forming window: an elected leader that can see
+// other admitted batches still preparing blocks on the committer condvar —
+// ceding the CPU to those fan-outs — until every admitted batch has enqueued
+// or this watchdog expires, then commits them as one group. This is the
+// binlog-style group-commit trade of a bounded latency bump for amortising
+// the per-commit clone/delta/publish across the group. A leader with no
+// company (single producer, or everyone already enqueued) skips the window
+// entirely, so uncontended ingest pays nothing.
+const groupWindow = time.Millisecond
+
+// groupCommitter is the stage-2 state of the pipelined Ingest: a ticket
+// counter defining arrival (and therefore commit) order, a bounded queue of
+// prepared batches keyed by ticket, and a leader election. There is no
+// dedicated committer goroutine — the caller whose batch is next in ticket
+// order (or any caller waiting while that batch is ready) becomes the leader,
+// drains every consecutive ready ticket as one group, commits the group under
+// the write lock and wakes the group's callers. Ticket order makes the final
+// state deterministic for a fixed arrival order regardless of how stage-1
+// fan-outs interleave.
+type groupCommitter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// pending maps ticket → prepared batch awaiting commit.
+	pending map[uint64]*prepared
+	// nextTicket is the next ticket to hand out; nextCommit the next ticket
+	// the committer may commit. Tickets in [nextCommit, nextTicket) are in
+	// flight (preparing, queued or being committed).
+	nextTicket uint64
+	nextCommit uint64
+	inflight   int
+	committing bool
+
+	// testAdmitted, when set, observes ticket assignment (test seam for the
+	// ordered-interleaving equivalence tests). Never set in production.
+	testAdmitted func(ticket uint64)
+}
+
+func (gc *groupCommitter) init() {
+	gc.cond = sync.NewCond(&gc.mu)
+	gc.pending = map[uint64]*prepared{}
+}
+
+// readyRun counts the consecutive run of pending tickets starting at
+// nextCommit — the group a leader would drain right now. Callers hold gc.mu.
+func (gc *groupCommitter) readyRun() int {
+	run := 0
+	for t := gc.nextCommit; gc.pending[t] != nil; t++ {
+		run++
+	}
+	return run
+}
+
+// admit assigns the caller its commit ticket, blocking while the pipeline is
+// at capacity. Arrival order is ticket order by definition.
+func (s *System) admit(p *prepared) {
+	gc := &s.gc
+	gc.mu.Lock()
+	for gc.inflight >= maxPendingBatches {
+		gc.cond.Wait()
+	}
+	gc.inflight++
+	p.ticket = gc.nextTicket
+	gc.nextTicket++
+	hook := gc.testAdmitted
+	gc.mu.Unlock()
+	if hook != nil {
+		hook(p.ticket)
+	}
+	// Yield between admission and the expensive fan-out: on saturated
+	// schedulers (GOMAXPROCS goroutines per core) this lets concurrent
+	// producers register their admissions before any of them starts
+	// preparing, so a group-forming leader sees them in inflight and waits
+	// for their batches instead of committing alone. With no other runnable
+	// goroutine the yield is a no-op.
+	runtime.Gosched()
+}
+
+// commitJoin enqueues a prepared batch and blocks until it has been
+// committed (or skipped). The caller may be elected leader while waiting: it
+// then drains the run of consecutive ready tickets starting at nextCommit —
+// not necessarily including its own — commits them as one group and goes
+// back to waiting for its own result.
+func (s *System) commitJoin(p *prepared) (IngestReport, error) {
+	gc := &s.gc
+	gc.mu.Lock()
+	gc.pending[p.ticket] = p
+	gc.cond.Broadcast()
+	for !p.done {
+		if !gc.committing && gc.pending[gc.nextCommit] != nil {
+			gc.committing = true
+			// Group-forming window: while admitted batches are still
+			// preparing (inflight exceeds the ready run), block on the
+			// condvar so their fan-outs get the CPU and join this group
+			// instead of forcing their own commits. Each enqueue broadcasts;
+			// the watchdog timer bounds the wait. committing is already set,
+			// so no second leader can start meanwhile.
+			if gc.readyRun() < gc.inflight {
+				expired := false
+				watchdog := time.AfterFunc(groupWindow, func() {
+					gc.mu.Lock()
+					expired = true
+					gc.cond.Broadcast()
+					gc.mu.Unlock()
+				})
+				for gc.readyRun() < gc.inflight && !expired {
+					gc.cond.Wait()
+				}
+				watchdog.Stop()
+			}
+			var group []*prepared
+			for t := gc.nextCommit; gc.pending[t] != nil; t++ {
+				group = append(group, gc.pending[t])
+				delete(gc.pending, t)
+			}
+			gc.mu.Unlock()
+			s.commitGroup(group)
+			gc.mu.Lock()
+			gc.nextCommit += uint64(len(group))
+			gc.inflight -= len(group)
+			gc.committing = false
+			for _, q := range group {
+				q.done = true
+			}
+			gc.cond.Broadcast()
+			continue
+		}
+		gc.cond.Wait()
+	}
+	gc.mu.Unlock()
+	return p.rep, p.err
+}
+
+// commitGroup applies one group of prepared batches and publishes one
+// snapshot for all of them. Under the critical section it clones the serving
+// graph and index once, replays each batch's recorders in ticket order onto
+// the shared clone (measuring the exact per-batch entity/triple/chunk
+// deltas), applies one merged line-graph delta over the group's new triple
+// IDs and swaps the snapshot pointer.
+//
+// Failure isolation: a batch whose stage 1 already failed is skipped without
+// touching the clone. A batch that fails mid-replay is rolled back by
+// rebuilding the clone and deterministically re-replaying the group's earlier
+// successful batches — the happy path pays no per-batch checkpoint, the
+// (exceptional) failure path pays O(group). Either way the failed batch's
+// caller gets the error and nothing of the batch becomes visible.
+func (s *System) commitGroup(group []*prepared) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load()
+	g := cur.graph.Clone()
+	ix := cur.index.CloneForAppend()
+	total := 0
+	for _, p := range group {
+		if p.err == nil {
+			total += p.recordedTriples()
+		}
+	}
+	newIDs := make([]string, 0, total)
+	var committed []*prepared
+	for _, p := range group {
+		if p.err != nil {
+			continue
+		}
+		var err error
+		newIDs, err = replayBatch(g, ix, p, newIDs)
+		if err != nil {
+			p.err = err
+			// Rollback: discard the poisoned clone and re-replay the group's
+			// earlier successes from scratch. Replay is deterministic, so a
+			// batch that succeeded once succeeds again with identical deltas.
+			g = cur.graph.Clone()
+			ix = cur.index.CloneForAppend()
+			newIDs = newIDs[:0]
+			retained := committed[:0]
+			for _, q := range committed {
+				var qerr error
+				newIDs, qerr = replayBatch(g, ix, q, newIDs)
+				if qerr != nil {
+					q.err = qerr // unreachable for deterministic replays
+					continue
+				}
+				retained = append(retained, q)
+			}
+			committed = retained
+			continue
+		}
+		committed = append(committed, p)
+	}
+
+	if len(committed) > 0 {
+		next := &snapshot{graph: g, index: ix, gen: cur.gen + 1}
+		if !s.cfg.DisableMKA {
+			if s.cfg.DisableIncrementalSG {
+				next.sg = linegraph.Build(g)
+			} else {
+				next.sg = linegraph.BuildDelta(cur.sg, g, newIDs)
+			}
+			st := next.sg.ComputeStats()
+			for _, p := range committed {
+				p.rep.Homologous = st
+			}
+		}
+		s.snap.Store(next)
+	}
+	now := time.Now()
+	for _, p := range committed {
+		s.buildReal += now.Sub(p.start)
+		s.buildLLM += p.llm
+	}
+	releaseVecs(group)
+}
+
+// replayBatch replays one prepared batch onto the shared commit clone,
+// appending its new triple IDs onto ids and its pre-embedded chunks into ix,
+// and records the batch's exact deltas in its report. On error the clone is
+// left partially mutated — the caller rolls back by rebuilding it.
+func replayBatch(g *kg.Graph, ix retrieval.Store, p *prepared, ids []string) ([]string, error) {
+	entBefore, triBefore := g.NumEntities(), g.NumTriples()
+	mark := len(ids)
+	for i := range p.work {
+		var err error
+		ids, err = p.work[i].rec.ReplayAppend(g, ids)
+		if err != nil {
+			return ids[:mark], err
+		}
+	}
+	p.rep.Chunks = 0
+	for i := range p.work {
+		w := &p.work[i]
+		ix.AddEmbeddedBatch(w.chunks, w.vecs[:len(w.chunks)])
+		p.rep.Chunks += len(w.chunks)
+	}
+	p.rep.Extraction.Entities = g.NumEntities() - entBefore
+	p.rep.Extraction.Triples = g.NumTriples() - triBefore
+	return ids, nil
+}

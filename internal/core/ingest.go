@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"multirag/internal/adapter"
+	"multirag/internal/extract"
+	"multirag/internal/jsonld"
+	"multirag/internal/kg"
+	"multirag/internal/linegraph"
+	"multirag/internal/retrieval"
+)
+
+// IngestReport summarises an Ingest call. Under group commit the
+// entity/triple/chunk deltas are still exact per batch — they are measured
+// while the batch's recorders replay — while Homologous reflects the snapshot
+// the batch's commit group published.
+type IngestReport struct {
+	Extraction extract.Report
+	Homologous linegraph.Stats
+	Chunks     int
+}
+
+// replayer is the deferred-mutation half of the extraction contract the
+// committer consumes: a recorded operation stream that can be replayed onto
+// the shared commit clone. *extract.Recorder is the production
+// implementation; tests substitute failing replayers to exercise the
+// group-commit rollback path.
+type replayer interface {
+	ReplayAppend(g *kg.Graph, ids []string) ([]string, error)
+	NumTriples() int
+}
+
+// fileWork is the per-file output of the parallel preparation stage.
+type fileWork struct {
+	rec    replayer
+	report extract.Report
+	chunks []retrieval.Chunk
+	vecs   []retrieval.Vector
+	err    error
+}
+
+// prepared is one Ingest call's batch after the fan-out stage: everything the
+// committer needs to replay it under the critical section, plus the slots the
+// committer fills in (report, error, completion flag — all read back by the
+// waiting caller under the committer lock).
+type prepared struct {
+	ticket uint64
+	start  time.Time
+	work   []fileWork
+	llm    time.Duration // per-caller virtual LLM latency of the fan-out
+
+	rep  IngestReport
+	err  error
+	done bool
+}
+
+// recordedTriples sums the batch's recorded triple count (newIDs
+// preallocation for the whole commit group).
+func (p *prepared) recordedTriples() int {
+	n := 0
+	for i := range p.work {
+		if p.work[i].rec != nil {
+			n += p.work[i].rec.NumTriples()
+		}
+	}
+	return n
+}
+
+// vecsPool recycles the per-file embedding containers of the preparation
+// stage (the same sync.Pool discipline as query.go's evScratch). Only the
+// outer []Vector is pooled — AddEmbeddedBatch copies the Vector headers into
+// the index's own arrays, so the container is dead once its batch commits.
+var vecsPool = sync.Pool{New: func() any { return new([]retrieval.Vector) }}
+
+func vecsScratch(n int) []retrieval.Vector {
+	vp := vecsPool.Get().(*[]retrieval.Vector)
+	v := *vp
+	if cap(v) < n {
+		v = make([]retrieval.Vector, n)
+	}
+	*vp = nil
+	vecsPool.Put(vp)
+	return v[:n]
+}
+
+// releaseVecs returns every file's embedding container to the pool, clearing
+// the elements so pooled arrays do not pin vectors alive.
+func releaseVecs(group []*prepared) {
+	for _, p := range group {
+		for i := range p.work {
+			w := &p.work[i]
+			if w.vecs == nil {
+				continue
+			}
+			clear(w.vecs)
+			v := w.vecs[:0]
+			w.vecs = nil
+			vp := vecsPool.Get().(*[]retrieval.Vector)
+			*vp = v
+			vecsPool.Put(vp)
+		}
+	}
+}
+
+// Ingest fuses, extracts and indexes the given files, then (unless MKA is
+// disabled) brings the homologous line graph up to date. It can be called
+// repeatedly and concurrently with queries.
+//
+// Ingest is a two-stage pipeline. Stage 1 — format adaptation, knowledge
+// extraction into private operation recorders (where the LLM calls happen)
+// and chunk rendering plus embedding — runs entirely OUTSIDE the write lock
+// on the shared worker pool, so any number of concurrent Ingest callers
+// overlap their fan-outs. Stage 2 is a single group committer: each call
+// takes a ticket on arrival, enqueues its prepared batch, and the committer
+// drains every consecutive ready batch as one group — under a short critical
+// section it replays the recorders onto one COW clone in ticket order,
+// batch-appends the pre-embedded chunks, applies one merged line-graph delta
+// and publishes ONE snapshot for the whole group. Commit order equals arrival
+// order; per-batch reports stay exact (deltas measured during replay); a
+// batch that fails to prepare or replay is skipped — its caller gets the
+// error, its group-mates commit, and nothing of the failed batch becomes
+// visible. Queries never block either way.
+//
+// LLM cost is metered per caller on a forked ingest model, so interleaved
+// fan-outs cannot pollute each other's BuildCost attribution.
+func (s *System) Ingest(files []adapter.RawFile) (IngestReport, error) {
+	if s.cfg.SerializeIngest {
+		return s.ingestSerialized(files)
+	}
+	p := &prepared{}
+	s.admit(p)
+	// Stamp after admission: buildReal attributes each committed call's wall
+	// time from admission to group publish — queue-blocking time spent
+	// waiting for a pipeline slot is not build work (the serialized path
+	// likewise stamped after acquiring its lock).
+	p.start = time.Now()
+	s.prepare(p, files)
+	return s.commitJoin(p)
+}
+
+// prepare runs stage 1 for one batch: fuse, extract into recorders, render
+// and embed chunks. It holds no lock; the only shared state it touches is the
+// bounded worker pool and the (concurrency-safe) usage fold-back into the
+// ingest model template.
+func (s *System) prepare(p *prepared, files []adapter.RawFile) {
+	model := s.ingestModel.Fork()
+	defer func() {
+		p.llm = model.VirtualLatency()
+		s.ingestModel.AddUsage(model.Usage())
+	}()
+	ext := extract.New(model)
+	workers := s.Workers()
+	fused, err := s.registry.FuseParallel(files, workers)
+	if err != nil {
+		p.err = err
+		return
+	}
+	dim := s.snap.Load().index.Dim()
+	work := make([]fileWork, len(fused))
+	Parallel(workers, len(fused), func(i int) {
+		w := &work[i]
+		rec := extract.NewRecorder()
+		w.report, w.err = ext.BuildFile(rec, fused[i])
+		if w.err != nil {
+			return
+		}
+		w.rec = rec
+		w.chunks = RenderChunks(fused[i], s.cfg.ChunkTokens)
+		w.vecs = vecsScratch(len(w.chunks))
+		for j, c := range w.chunks {
+			w.vecs[j] = retrieval.Embed(c.Text, dim)
+		}
+	})
+	for i := range work {
+		if work[i].err != nil {
+			p.err = work[i].err
+			break
+		}
+	}
+	p.work = work
+	if p.err == nil {
+		p.rep.Extraction = mergedBatchReport(work)
+	}
+}
+
+// mergedBatchReport folds the per-file extraction reports into one batch
+// report. It adopts the first file's ByFormat map instead of allocating a
+// fresh one per batch — per-file reports are single-use, so the commit path
+// reuses their maps rather than growing a new allocation per commit.
+// Entities/Triples are left zero here; the committer measures them against
+// the shared clone during replay.
+func mergedBatchReport(work []fileWork) extract.Report {
+	if len(work) == 0 {
+		return extract.Report{ByFormat: map[string]int{}}
+	}
+	rep := work[0].report
+	if rep.ByFormat == nil {
+		rep.ByFormat = map[string]int{}
+	}
+	for i := 1; i < len(work); i++ {
+		rep.Merge(work[i].report)
+	}
+	return rep
+}
+
+// ingestSerialized is the pre-pipeline write path, preserved behind
+// Config.SerializeIngest as the A/B baseline for the ingest bench: the whole
+// call — fan-out included — runs under the write lock, commits one snapshot
+// per batch and re-walks every homologous node for its statistics.
+func (s *System) ingestSerialized(files []adapter.RawFile) (IngestReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep IngestReport
+	start := time.Now()
+	llmBefore := s.ingestModel.VirtualLatency()
+	workers := s.Workers()
+	fused, err := s.registry.FuseParallel(files, workers)
+	if err != nil {
+		return rep, err
+	}
+
+	dim := s.snap.Load().index.Dim()
+	work := make([]fileWork, len(fused))
+	Parallel(workers, len(fused), func(i int) {
+		w := &work[i]
+		rec := extract.NewRecorder()
+		w.report, w.err = s.extractor.BuildFile(rec, fused[i])
+		if w.err != nil {
+			return
+		}
+		w.rec = rec
+		w.chunks = RenderChunks(fused[i], s.cfg.ChunkTokens)
+		w.vecs = make([]retrieval.Vector, len(w.chunks))
+		for j, c := range w.chunks {
+			w.vecs[j] = retrieval.Embed(c.Text, dim)
+		}
+	})
+	rep.Extraction = extract.Report{ByFormat: map[string]int{}}
+	for i := range work {
+		if work[i].err != nil {
+			return rep, work[i].err
+		}
+	}
+
+	cur := s.snap.Load()
+	g := cur.graph.Clone()
+	entBefore, triBefore := g.NumEntities(), g.NumTriples()
+	ix := cur.index.CloneForAppend()
+	var newIDs []string
+	for i := range work {
+		ids, err := work[i].rec.ReplayAppend(g, nil)
+		if err != nil {
+			return rep, err
+		}
+		newIDs = append(newIDs, ids...)
+		rep.Extraction.Merge(work[i].report)
+		for j, c := range work[i].chunks {
+			ix.AddEmbedded(c, work[i].vecs[j])
+			rep.Chunks++
+		}
+	}
+	rep.Extraction.Entities = g.NumEntities() - entBefore
+	rep.Extraction.Triples = g.NumTriples() - triBefore
+
+	next := &snapshot{graph: g, index: ix, gen: cur.gen + 1}
+	if !s.cfg.DisableMKA {
+		if s.cfg.DisableIncrementalSG {
+			next.sg = linegraph.Build(g)
+		} else {
+			next.sg = linegraph.BuildDelta(cur.sg, g, newIDs)
+		}
+		rep.Homologous = next.sg.RecomputeStats()
+	}
+	s.snap.Store(next)
+	s.buildReal += time.Since(start)
+	s.buildLLM += s.ingestModel.VirtualLatency() - llmBefore
+	return rep, nil
+}
+
+// RenderChunks converts a normalised file into retrievable chunks. Text
+// records chunk their raw paragraphs; structured records are verbalised as
+// benchmark-grammar sentences so that chunk retrieval and per-query LLM
+// extraction can reach the same facts the KG holds. It is exported for the
+// benchmark harness, which builds identical baseline environments.
+func RenderChunks(n *jsonld.Normalized, chunkTokens int) []retrieval.Chunk {
+	var out []retrieval.Chunk
+	for _, doc := range n.JSC {
+		if v, ok := doc.Get("text"); ok && v.Str != "" {
+			out = append(out, retrieval.ChunkText(doc.ID, n.Source, v.Str, chunkTokens)...)
+			continue
+		}
+		text := verbalise(doc)
+		if text != "" {
+			out = append(out, retrieval.ChunkText(doc.ID, n.Source, text, chunkTokens)...)
+		}
+	}
+	return out
+}
+
+// verbalise renders a structured record as sentences.
+func verbalise(doc *jsonld.Document) string {
+	subject := ""
+	for _, key := range []string{"@key", "name", "title", "id", "flight", "symbol", "subject"} {
+		if v, ok := doc.Get(key); ok && v.Str != "" {
+			subject = v.Str
+			break
+		}
+	}
+	if subject == "" {
+		return ""
+	}
+	// Native-KG triples verbalise directly.
+	if p, ok := doc.Get("predicate"); ok {
+		if o, oko := doc.Get("object"); oko {
+			return fmt.Sprintf("The %s of %s is %s.",
+				strings.ReplaceAll(p.Str, "_", " "), subject, o.Str)
+		}
+	}
+	var sents []string
+	var walk func(d *jsonld.Document, prefix string)
+	walk = func(d *jsonld.Document, prefix string) {
+		for _, k := range d.Keys() {
+			v, _ := d.Get(k)
+			name := strings.TrimPrefix(k, "@")
+			if i := strings.IndexByte(name, '/'); i >= 0 {
+				name = name[:i]
+			}
+			if prefix != "" {
+				name = prefix + " " + name
+			}
+			if v.Node != nil {
+				walk(v.Node, name)
+				continue
+			}
+			if k == "@key" || (prefix == "" && v.Str == subject) {
+				continue
+			}
+			for _, val := range v.Strings() {
+				sents = append(sents, fmt.Sprintf("The %s of %s is %s.",
+					strings.ReplaceAll(name, "_", " "), subject, val))
+			}
+		}
+	}
+	walk(doc, "")
+	return strings.Join(sents, " ")
+}

@@ -6,9 +6,7 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,7 +14,6 @@ import (
 	"multirag/internal/adapter"
 	"multirag/internal/confidence"
 	"multirag/internal/extract"
-	"multirag/internal/jsonld"
 	"multirag/internal/kg"
 	"multirag/internal/linegraph"
 	"multirag/internal/llm"
@@ -81,6 +78,13 @@ type Config struct {
 	// history credits on every hit, so answers are bit-identical with the
 	// memo on or off. The knob exists for A/B benchmarking.
 	DisableEvidenceMemo bool
+	// SerializeIngest reverts Ingest to the pre-pipeline write path: the
+	// whole call — extraction fan-out included — runs under the write lock,
+	// every batch commits its own snapshot, and the homologous statistics
+	// are re-derived with a full node walk per commit (RecomputeStats).
+	// This is the serialized baseline the ingest bench measures the
+	// group-committing pipeline against; leave it off in production.
+	SerializeIngest bool
 }
 
 // snapshot is one immutable serving state: the knowledge graph, its
@@ -103,8 +107,10 @@ type snapshot struct {
 const DefaultShards = 8
 
 // System is an assembled MultiRAG deployment over one corpus. Queries are
-// safe for unbounded concurrency; Ingest and RebuildSG are serialised
-// internally and may run concurrently with queries.
+// safe for unbounded concurrency and may run while ingestion commits.
+// Concurrent Ingest calls overlap their expensive fan-out phases and are
+// group-committed in arrival order by a single committer (see ingest.go /
+// committer.go); RebuildSG serialises against the commit path.
 type System struct {
 	cfg      Config
 	model    *llm.Sim
@@ -138,12 +144,19 @@ type System struct {
 	subQMu sync.RWMutex
 	subQs  map[string]string
 
-	// mu serialises the write path and guards the build-cost counters.
+	// mu guards the commit critical section of the write path (snapshot
+	// clone/replay/publish — never the ingest fan-out, which runs before it)
+	// and the build-cost counters.
 	mu sync.Mutex
 	// Preprocessing cost (PT in Table III): real build time plus the LLM
 	// latency spent during ingestion.
 	buildReal time.Duration
 	buildLLM  time.Duration
+
+	// gc is the group-commit state behind the pipelined Ingest: a ticketed,
+	// bounded queue of prepared batches drained by a single committer. See
+	// committer.go.
+	gc groupCommitter
 }
 
 // NewSystem builds an empty system from cfg.
@@ -177,6 +190,7 @@ func NewSystem(cfg Config) *System {
 		evidence:    newEvidenceMemo(cfg.DisableEvidenceMemo),
 		subQs:       map[string]string{},
 	}
+	s.gc.init()
 	s.snap.Store(&snapshot{
 		graph: kg.New(),
 		index: retrieval.New(retrieval.Options{
@@ -256,112 +270,13 @@ func (s *System) BuildCost() (real, llmLatency time.Duration) {
 	return s.buildReal, s.buildLLM
 }
 
-// IngestReport summarises an Ingest call.
-type IngestReport struct {
-	Extraction extract.Report
-	Homologous linegraph.Stats
-	Chunks     int
-}
-
-// fileWork is the per-file output of the parallel ingestion stage.
-type fileWork struct {
-	rec    *extract.Recorder
-	report extract.Report
-	chunks []retrieval.Chunk
-	vecs   []retrieval.Vector
-	err    error
-}
-
-// Ingest fuses, extracts and indexes the given files, then (unless MKA is
-// disabled) brings the homologous line graph up to date. It can be called
-// repeatedly and concurrently with queries.
-//
-// The pipeline has two phases. The fan-out phase runs per-file work on a
-// bounded pool: format adaptation, knowledge extraction (into a private
-// operation recorder — this is where the LLM calls happen) and chunk
-// rendering plus embedding. The commit phase, serialised by the write lock,
-// clones the current graph, replays the recorded operation streams in file
-// order (bit-identical to single-threaded extraction), batch-appends the
-// pre-embedded chunks, applies the new-triple delta to the previous SG
-// instead of rebuilding it from the whole corpus, and atomically publishes
-// the new snapshot. A failed batch publishes nothing.
-//
-// Concurrent Ingest calls are serialised for the whole call, fan-out phase
-// included: commit order equals arrival order and the preprocessing-cost
-// accounting stays exact. Queries never block either way.
-func (s *System) Ingest(files []adapter.RawFile) (IngestReport, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var rep IngestReport
-	start := time.Now()
-	llmBefore := s.ingestModel.VirtualLatency()
-	workers := s.Workers()
-	fused, err := s.registry.FuseParallel(files, workers)
-	if err != nil {
-		return rep, err
-	}
-
-	dim := s.snap.Load().index.Dim()
-	work := make([]fileWork, len(fused))
-	Parallel(workers, len(fused), func(i int) {
-		w := &work[i]
-		w.rec = extract.NewRecorder()
-		w.report, w.err = s.extractor.BuildFile(w.rec, fused[i])
-		if w.err != nil {
-			return
-		}
-		w.chunks = RenderChunks(fused[i], s.cfg.ChunkTokens)
-		w.vecs = make([]retrieval.Vector, len(w.chunks))
-		for j, c := range w.chunks {
-			w.vecs[j] = retrieval.Embed(c.Text, dim)
-		}
-	})
-	rep.Extraction = extract.Report{ByFormat: map[string]int{}}
-	for i := range work {
-		if work[i].err != nil {
-			return rep, work[i].err
-		}
-	}
-
-	cur := s.snap.Load()
-	g := cur.graph.Clone()
-	entBefore, triBefore := g.NumEntities(), g.NumTriples()
-	ix := cur.index.CloneForAppend()
-	var newIDs []string
-	for i := range work {
-		ids, err := work[i].rec.Replay(g)
-		if err != nil {
-			return rep, err
-		}
-		newIDs = append(newIDs, ids...)
-		rep.Extraction.Merge(work[i].report)
-		for j, c := range work[i].chunks {
-			ix.AddEmbedded(c, work[i].vecs[j])
-			rep.Chunks++
-		}
-	}
-	rep.Extraction.Entities = g.NumEntities() - entBefore
-	rep.Extraction.Triples = g.NumTriples() - triBefore
-
-	next := &snapshot{graph: g, index: ix, gen: cur.gen + 1}
-	if !s.cfg.DisableMKA {
-		if s.cfg.DisableIncrementalSG {
-			next.sg = linegraph.Build(g)
-		} else {
-			next.sg = linegraph.BuildDelta(cur.sg, g, newIDs)
-		}
-		rep.Homologous = next.sg.ComputeStats()
-	}
-	s.snap.Store(next)
-	s.buildReal += time.Since(start)
-	s.buildLLM += s.ingestModel.VirtualLatency() - llmBefore
-	return rep, nil
-}
-
 // RebuildSG reconstructs the homologous line graph from scratch after
 // external graph mutation (perturbation experiments remove or rewrite
 // triples, which the incremental delta cannot express) and publishes the
-// result as a new snapshot.
+// result as a new snapshot. The rebuilt SG carries its aggregate homologous
+// statistics (maintained during Build's construction walk), so ComputeStats
+// on the published snapshot reports the post-mutation counts without any
+// extra refresh step.
 func (s *System) RebuildSG() {
 	if s.cfg.DisableMKA {
 		return
@@ -379,70 +294,3 @@ func (s *System) RebuildSG() {
 	s.buildReal += time.Since(start)
 }
 
-// RenderChunks converts a normalised file into retrievable chunks. Text
-// records chunk their raw paragraphs; structured records are verbalised as
-// benchmark-grammar sentences so that chunk retrieval and per-query LLM
-// extraction can reach the same facts the KG holds. It is exported for the
-// benchmark harness, which builds identical baseline environments.
-func RenderChunks(n *jsonld.Normalized, chunkTokens int) []retrieval.Chunk {
-	var out []retrieval.Chunk
-	for _, doc := range n.JSC {
-		if v, ok := doc.Get("text"); ok && v.Str != "" {
-			out = append(out, retrieval.ChunkText(doc.ID, n.Source, v.Str, chunkTokens)...)
-			continue
-		}
-		text := verbalise(doc)
-		if text != "" {
-			out = append(out, retrieval.ChunkText(doc.ID, n.Source, text, chunkTokens)...)
-		}
-	}
-	return out
-}
-
-// verbalise renders a structured record as sentences.
-func verbalise(doc *jsonld.Document) string {
-	subject := ""
-	for _, key := range []string{"@key", "name", "title", "id", "flight", "symbol", "subject"} {
-		if v, ok := doc.Get(key); ok && v.Str != "" {
-			subject = v.Str
-			break
-		}
-	}
-	if subject == "" {
-		return ""
-	}
-	// Native-KG triples verbalise directly.
-	if p, ok := doc.Get("predicate"); ok {
-		if o, oko := doc.Get("object"); oko {
-			return fmt.Sprintf("The %s of %s is %s.",
-				strings.ReplaceAll(p.Str, "_", " "), subject, o.Str)
-		}
-	}
-	var sents []string
-	var walk func(d *jsonld.Document, prefix string)
-	walk = func(d *jsonld.Document, prefix string) {
-		for _, k := range d.Keys() {
-			v, _ := d.Get(k)
-			name := strings.TrimPrefix(k, "@")
-			if i := strings.IndexByte(name, '/'); i >= 0 {
-				name = name[:i]
-			}
-			if prefix != "" {
-				name = prefix + " " + name
-			}
-			if v.Node != nil {
-				walk(v.Node, name)
-				continue
-			}
-			if k == "@key" || (prefix == "" && v.Str == subject) {
-				continue
-			}
-			for _, val := range v.Strings() {
-				sents = append(sents, fmt.Sprintf("The %s of %s is %s.",
-					strings.ReplaceAll(name, "_", " "), subject, val))
-			}
-		}
-	}
-	walk(doc, "")
-	return strings.Join(sents, " ")
-}

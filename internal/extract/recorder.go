@@ -72,7 +72,16 @@ func (r *Recorder) NumTriples() int { return r.triples }
 // returns the IDs of the triples inserted. Replay is cheap (map inserts); all
 // model-driven work already happened while recording.
 func (r *Recorder) Replay(g *kg.Graph) ([]string, error) {
-	ids := make([]string, 0, r.triples)
+	return r.ReplayAppend(g, make([]string, 0, r.triples))
+}
+
+// ReplayAppend is Replay appending the inserted triple IDs onto ids instead
+// of allocating a fresh slice. The group committer replays every recorder of
+// a commit group into one buffer preallocated for the whole group's recorded
+// triple count; on a mid-batch error the caller truncates ids back to its
+// pre-batch length (the returned slice always carries whatever was inserted
+// before the failure).
+func (r *Recorder) ReplayAppend(g *kg.Graph, ids []string) ([]string, error) {
 	for _, o := range r.ops {
 		if o.name != "" {
 			g.AddEntity(o.name, o.typ, o.domain)

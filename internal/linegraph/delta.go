@@ -26,9 +26,11 @@ func BuildDelta(prev *SG, g *kg.Graph, newTripleIDs []string) *SG {
 		return Build(g)
 	}
 	sg := &SG{
-		nodes:    prev.nodes.clone(),
-		isoIndex: prev.isoIndex.clone(),
-		graph:    g,
+		nodes:       prev.nodes.clone(),
+		isoIndex:    prev.isoIndex.clone(),
+		graph:       g,
+		memberTotal: prev.memberTotal,
+		maxGroup:    prev.maxGroup,
 	}
 	affected := map[string]bool{}
 	for _, id := range newTripleIDs {
@@ -38,7 +40,7 @@ func BuildDelta(prev *SG, g *kg.Graph, newTripleIDs []string) *SG {
 	}
 	for key := range affected {
 		members := g.TriplesByRawKey(key)
-		sg.nodes.del(key)
+		sg.delNode(key)
 		sg.isoIndex.del(key)
 		switch {
 		case len(members) == 0:
@@ -47,7 +49,7 @@ func BuildDelta(prev *SG, g *kg.Graph, newTripleIDs []string) *SG {
 		case len(members) == 1:
 			sg.isoIndex.put(key, members[0].ID)
 		default:
-			sg.nodes.put(key, newHomologousNode(key, members))
+			sg.putNode(key, newHomologousNode(key, members))
 		}
 	}
 	return sg

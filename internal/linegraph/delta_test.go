@@ -44,6 +44,14 @@ func requireEqualSG(t *testing.T, got, want *SG) {
 	if !reflect.DeepEqual(got.ComputeStats(), want.ComputeStats()) {
 		t.Fatalf("stats diverge: delta=%+v scratch=%+v", got.ComputeStats(), want.ComputeStats())
 	}
+	// The incrementally maintained aggregates must agree with the walking
+	// oracle on both sides (delta-chained and from-scratch construction).
+	if !reflect.DeepEqual(got.ComputeStats(), got.RecomputeStats()) {
+		t.Fatalf("incremental stats drifted from oracle: %+v vs %+v", got.ComputeStats(), got.RecomputeStats())
+	}
+	if !reflect.DeepEqual(want.ComputeStats(), want.RecomputeStats()) {
+		t.Fatalf("scratch stats drifted from oracle: %+v vs %+v", want.ComputeStats(), want.RecomputeStats())
+	}
 	if !reflect.DeepEqual(got.IsolatedIDs(), want.IsolatedIDs()) {
 		t.Fatalf("isolated sets diverge:\n delta   %v\n scratch %v", got.IsolatedIDs(), want.IsolatedIDs())
 	}

@@ -53,6 +53,16 @@ type SG struct {
 	isoIndex overlay[string]
 	graph    *kg.Graph
 
+	// memberTotal and maxGroup carry the aggregate member statistics
+	// incrementally: Build accumulates them during its single construction
+	// walk and BuildDelta adjusts them per touched key, so ComputeStats is an
+	// O(1) read instead of the full node re-walk every ingest commit used to
+	// pay. maxGroup is maintained monotonically — exact for the pure-addition
+	// deltas BuildDelta accepts (a key's member set only grows); destructive
+	// mutation goes through a full Build, which recomputes it from scratch.
+	memberTotal int
+	maxGroup    int
+
 	// isolated is the sorted isolated-triple ID list, materialised lazily on
 	// first IsolatedIDs call (most snapshots never need it; BuildDelta used
 	// to re-sort it on every batch). sync.Once keeps the fill race-free for
@@ -112,11 +122,31 @@ func Build(g *kg.Graph) *SG {
 				sg.isoIndex.put(members[0].Key(), members[0].ID)
 			default:
 				key := members[0].Key()
-				sg.nodes.put(key, newHomologousNode(key, members))
+				sg.putNode(key, newHomologousNode(key, members))
 			}
 		}
 	})
 	return sg
+}
+
+// putNode installs a homologous node and folds it into the incremental
+// aggregate statistics. Both Build and BuildDelta insert through here.
+func (sg *SG) putNode(key string, n *HomologousNode) {
+	sg.nodes.put(key, n)
+	sg.memberTotal += n.Num
+	if n.Num > sg.maxGroup {
+		sg.maxGroup = n.Num
+	}
+}
+
+// delNode removes a homologous node (if the key holds one) and deducts it
+// from the aggregate statistics. maxGroup is left as a monotone upper bound;
+// see the field comment.
+func (sg *SG) delNode(key string) {
+	if old, ok := sg.nodes.get(key); ok {
+		sg.memberTotal -= old.Num
+	}
+	sg.nodes.del(key)
 }
 
 // newHomologousNode assembles the homologous centre node for one key group
@@ -291,8 +321,25 @@ type Stats struct {
 	MaxGroupSize    int
 }
 
-// ComputeStats returns aggregate statistics of the homologous structure.
+// ComputeStats returns aggregate statistics of the homologous structure. The
+// aggregates are maintained incrementally by Build and BuildDelta, so this is
+// an O(1) read — safe to call per ingest commit (it used to re-walk every
+// homologous node each time). RecomputeStats is the walking oracle.
 func (sg *SG) ComputeStats() Stats {
+	st := Stats{HomologousNodes: sg.nodes.n, Isolated: sg.isoIndex.n, MaxGroupSize: sg.maxGroup}
+	if sg.nodes.n > 0 {
+		st.MeanGroupSize = float64(sg.memberTotal) / float64(sg.nodes.n)
+	} else {
+		st.MaxGroupSize = 0
+	}
+	return st
+}
+
+// RecomputeStats derives the statistics by walking every homologous node —
+// the pre-incremental implementation, kept as the property-test oracle for
+// ComputeStats and as part of the serialized-ingest A/B baseline
+// (core.Config.SerializeIngest), which reproduces the per-commit full walk.
+func (sg *SG) RecomputeStats() Stats {
 	st := Stats{HomologousNodes: sg.nodes.n, Isolated: sg.isoIndex.n}
 	total := 0
 	sg.nodes.forEach(func(_ string, n *HomologousNode) {

@@ -149,6 +149,12 @@ func (b *usageBox) record(prompt, completion int) {
 	b.mu.Unlock()
 }
 
+func (b *usageBox) add(u Usage) {
+	b.mu.Lock()
+	b.u.Add(u)
+	b.mu.Unlock()
+}
+
 func (b *usageBox) snapshot() Usage {
 	b.mu.Lock()
 	defer b.mu.Unlock()

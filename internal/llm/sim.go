@@ -75,6 +75,19 @@ func NewSim(cfg Config) *Sim {
 // Name implements Model.
 func (s *Sim) Name() string { return s.name }
 
+// Fork returns a Sim with the same configuration (and therefore bit-identical
+// outputs — every decision is keyed only by the seed and the input text) but a
+// private usage tally. The pipelined ingest engine forks the ingest model once
+// per Ingest call, so concurrent extraction fan-outs meter their virtual LLM
+// latency per caller instead of reading interleaved before/after diffs off one
+// shared counter.
+func (s *Sim) Fork() *Sim { return &Sim{cfg: s.cfg, name: s.name} }
+
+// AddUsage folds an externally accumulated tally (typically a Fork's) into
+// this model's accounting, keeping aggregate Usage views exact when work is
+// metered on forks.
+func (s *Sim) AddUsage(u Usage) { s.usage.add(u) }
+
 // coin returns a deterministic pseudo-uniform draw in [0,1) keyed by the
 // model seed and the given key.
 func (s *Sim) coin(key string) float64 {

@@ -186,6 +186,19 @@ func (ix *Index) AddEmbedded(c Chunk, v Vector) {
 	ix.vecs = append(ix.vecs, v)
 }
 
+// AddEmbeddedBatch appends a parallel run of chunks and embeddings in one
+// grow of each backing array — the multi-batch append path the group
+// committer uses under its critical section.
+func (ix *Index) AddEmbeddedBatch(cs []Chunk, vs []Vector) {
+	if ix.post != nil {
+		for i := range cs {
+			ix.post.add(len(ix.chunks)+i, vs[i])
+		}
+	}
+	ix.chunks = append(ix.chunks, cs...)
+	ix.vecs = append(ix.vecs, vs...)
+}
+
 // CloneForAppend returns an index that shares the receiver's backing arrays
 // but has its slice capacities clipped, so any subsequent append reallocates
 // instead of writing into shared memory. This is the O(1) copy-on-write step

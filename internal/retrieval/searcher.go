@@ -36,6 +36,11 @@ type Store interface {
 	Add(c Chunk)
 	// AddEmbedded inserts a chunk with a precomputed embedding.
 	AddEmbedded(c Chunk, v Vector)
+	// AddEmbeddedBatch inserts many pre-embedded chunks at once (vs must be
+	// parallel to cs). The group committer appends a whole commit group's
+	// chunks through this path, growing the backing arrays once per batch
+	// instead of once per chunk.
+	AddEmbeddedBatch(cs []Chunk, vs []Vector)
 	// CloneForAppend returns a store that shares the receiver's backing
 	// arrays with clipped capacities, so appends to the clone never mutate
 	// the receiver (a published, read-only snapshot).

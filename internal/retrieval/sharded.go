@@ -58,6 +58,34 @@ func (s *Sharded) AddEmbedded(c Chunk, v Vector) {
 	s.shards[s.shardOf(c.ID)].AddEmbedded(c, v)
 }
 
+// AddEmbeddedBatch routes a parallel run of pre-embedded chunks to their home
+// shards: one routing hash per chunk, then one batched append per shard that
+// received anything, so every shard's backing arrays grow at most once per
+// batch (the contract the Store interface states).
+func (s *Sharded) AddEmbeddedBatch(cs []Chunk, vs []Vector) {
+	if len(cs) == 1 {
+		s.AddEmbedded(cs[0], vs[0])
+		return
+	}
+	byShard := make([][]int, len(s.shards))
+	for i := range cs {
+		sh := s.shardOf(cs[i].ID)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for sh, ords := range byShard {
+		if len(ords) == 0 {
+			continue
+		}
+		cc := make([]Chunk, len(ords))
+		vv := make([]Vector, len(ords))
+		for j, o := range ords {
+			cc[j] = cs[o]
+			vv[j] = vs[o]
+		}
+		s.shards[sh].AddEmbeddedBatch(cc, vv)
+	}
+}
+
 // CloneForAppend clips every shard (O(shards) slice headers), preserving the
 // per-shard copy-on-write contract.
 func (s *Sharded) CloneForAppend() Store {

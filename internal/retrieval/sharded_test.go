@@ -262,3 +262,44 @@ func TestEmbedCallsCounter(t *testing.T) {
 		t.Fatalf("EmbedCalls advanced by %d, want >= 2", got)
 	}
 }
+
+// TestAddEmbeddedBatchMatchesPerChunk pins the batched append path: for both
+// the flat and the sharded store, AddEmbeddedBatch must produce an index
+// identical (length and search results) to per-chunk AddEmbedded.
+func TestAddEmbeddedBatchMatchesPerChunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var chunks []Chunk
+	var vecs []Vector
+	for i := 0; i < 60; i++ {
+		text := fmt.Sprintf("%s %s %d", corpusVocab[rng.Intn(len(corpusVocab))],
+			corpusVocab[rng.Intn(len(corpusVocab))], i)
+		c := Chunk{ID: fmt.Sprintf("d%d#c0", i), DocID: fmt.Sprintf("d%d", i),
+			Source: fmt.Sprintf("src-%d", i%3), Text: text}
+		chunks = append(chunks, c)
+		vecs = append(vecs, Embed(text, DefaultDim))
+	}
+	for _, shards := range []int{1, 8} {
+		single := New(Options{Shards: shards, Postings: true})
+		batched := New(Options{Shards: shards, Postings: true})
+		for i := range chunks {
+			single.AddEmbedded(chunks[i], vecs[i])
+		}
+		batched.AddEmbeddedBatch(chunks, vecs)
+		if single.Len() != batched.Len() {
+			t.Fatalf("shards=%d: lengths diverge %d vs %d", shards, single.Len(), batched.Len())
+		}
+		for q := 0; q < 10; q++ {
+			query := fmt.Sprintf("%s status %d", corpusVocab[q%len(corpusVocab)], q)
+			a := single.Search(query, 7)
+			b := batched.Search(query, 7)
+			if len(a) != len(b) {
+				t.Fatalf("shards=%d query %q: hit counts diverge", shards, query)
+			}
+			for i := range a {
+				if a[i].Chunk.ID != b[i].Chunk.ID || a[i].Score != b[i].Score {
+					t.Fatalf("shards=%d query %q hit %d diverges: %+v vs %+v", shards, query, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

@@ -64,6 +64,12 @@ type Config struct {
 	// learning, so confidence scores on later queries may differ slightly
 	// from an uncached run; answer values for a given corpus do not.
 	AnswerCache int
+	// SerializeIngest reverts IngestFiles to the fully serialized write path
+	// (one lock held for the whole call, one snapshot per batch) instead of
+	// the pipelined group-committing ingest. Results are identical for any
+	// fixed batch order; the knob exists as the A/B baseline for ingest
+	// throughput measurements.
+	SerializeIngest bool
 }
 
 // Answer is the trustworthy response to a query.
@@ -105,8 +111,9 @@ type Stats struct {
 // System is a MultiRAG deployment over one corpus. All methods are safe for
 // concurrent use: queries run against immutable, atomically swapped
 // snapshots, so any number of Ask/Retrieve goroutines can proceed while
-// IngestFiles batches are committed. Concurrent IngestFiles calls are
-// serialised internally; each batch becomes visible atomically.
+// IngestFiles batches are committed. Concurrent IngestFiles calls overlap
+// their extraction fan-outs and are group-committed in arrival order; each
+// batch becomes visible atomically.
 type System struct {
 	inner *core.System
 }
@@ -138,6 +145,7 @@ func Open(cfg Config) *System {
 		Shards:          cfg.Shards,
 		DisablePostings: cfg.DisablePostings,
 		AnswerCacheSize: cfg.AnswerCache,
+		SerializeIngest: cfg.SerializeIngest,
 		Ablation: confidence.Options{
 			DisableGraphLevel: cfg.DisableGraphLevel,
 			DisableNodeLevel:  cfg.DisableNodeLevel,
@@ -148,8 +156,11 @@ func Open(cfg Config) *System {
 // IngestFiles adapts, fuses and indexes the given files, extending the
 // knowledge graph and incrementally updating the multi-source line graph.
 // Per-file adaptation, extraction and embedding run on a bounded worker pool
-// (Config.Workers); the batch commits atomically, so concurrent Ask calls
-// see either the whole batch or none of it.
+// (Config.Workers) outside any lock, so concurrent IngestFiles callers
+// overlap that expensive work; prepared batches are then group-committed in
+// arrival order. Each batch commits atomically — concurrent Ask calls see
+// either the whole batch or none of it — and a failing batch never blocks or
+// poisons batches committed alongside it.
 func (s *System) IngestFiles(files ...File) error {
 	raw := make([]adapter.RawFile, 0, len(files))
 	for _, f := range files {
