@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_SCALE ?= 0.12
 
-.PHONY: check vet build test race bench bench-retrieval bench-graph bench-query bench-ingest clean
+.PHONY: check vet build test race bench bench-retrieval bench-graph bench-query bench-ingest bench-serve clean
 
 # check is the CI entry point: static analysis, full build, race-enabled tests.
 check: vet build race
@@ -49,5 +49,12 @@ bench-query:
 bench-ingest:
 	$(GO) run ./cmd/benchtables -ingest -scale $(BENCH_SCALE) -json BENCH_ingest.json
 
+# bench-serve runs the HTTP serving-layer benchmark (two-SLO-class closed-loop
+# load through the front door under each batch-formation policy: fcfs / sjf /
+# priority, with admission-rejection accounting on the rate-limited class) and
+# records per-class tail latencies plus Jain fairness.
+bench-serve:
+	$(GO) run ./cmd/benchtables -serve -scale $(BENCH_SCALE) -json BENCH_serve.json
+
 clean:
-	rm -f BENCH_core.json BENCH_retrieval.json BENCH_graph.json BENCH_query.json BENCH_ingest.json
+	rm -f BENCH_core.json BENCH_retrieval.json BENCH_graph.json BENCH_query.json BENCH_ingest.json BENCH_serve.json

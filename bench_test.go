@@ -1,4 +1,4 @@
-package multirag
+package multirag_test
 
 // This file is the benchmark harness required by DESIGN.md §4: one testing.B
 // target per paper table and figure (run at a reduced scale so `go test

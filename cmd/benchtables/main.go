@@ -9,6 +9,7 @@
 //	benchtables -graph          # graph-core microbenchmarks only
 //	benchtables -query          # query-executor microbenchmarks only
 //	benchtables -ingest         # ingest-throughput microbenchmarks only
+//	benchtables -serve          # HTTP serving-layer benchmarks only
 //	benchtables -scale 0.2      # quick run at 20% workload
 //	benchtables -seed 7         # different generation seed
 //	benchtables -json BENCH_core.json   # also write per-job wall times as JSON
@@ -31,6 +32,7 @@ func main() {
 	graph := flag.Bool("graph", false, "run only the graph-core microbenchmarks")
 	query := flag.Bool("query", false, "run only the query-executor microbenchmarks")
 	ingest := flag.Bool("ingest", false, "run only the ingest-throughput microbenchmarks")
+	srv := flag.Bool("serve", false, "run only the HTTP serving-layer benchmarks")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (entities and queries)")
 	seed := flag.Uint64("seed", 1, "dataset / model seed")
 	jsonOut := flag.String("json", "", "write per-job wall-clock timings to this JSON file")
@@ -46,19 +48,20 @@ func main() {
 	var graphDetail *bench.GraphReport
 	var queryDetail *bench.QueryReport
 	var ingestDetail *bench.IngestReport
+	var serveDetail *bench.ServeReport
 	add := func(name string, run func(bench.Options) error) {
 		jobs = append(jobs, job{name, run})
 	}
 	switch {
 	case *retr:
-		if *table > 0 || *figure > 0 || *graph || *query || *ingest {
-			fmt.Fprintln(os.Stderr, "benchtables: -retrieval cannot be combined with -table/-figure/-graph/-query/-ingest")
+		if *table > 0 || *figure > 0 || *graph || *query || *ingest || *srv {
+			fmt.Fprintln(os.Stderr, "benchtables: -retrieval cannot be combined with -table/-figure/-graph/-query/-ingest/-serve")
 			os.Exit(2)
 		}
 		add("Retrieval", bench.Retrieval)
 	case *graph:
-		if *table > 0 || *figure > 0 || *query || *ingest {
-			fmt.Fprintln(os.Stderr, "benchtables: -graph cannot be combined with -table/-figure/-query/-ingest")
+		if *table > 0 || *figure > 0 || *query || *ingest || *srv {
+			fmt.Fprintln(os.Stderr, "benchtables: -graph cannot be combined with -table/-figure/-query/-ingest/-serve")
 			os.Exit(2)
 		}
 		add("Graph", func(o bench.Options) error {
@@ -67,8 +70,8 @@ func main() {
 			return err
 		})
 	case *query:
-		if *table > 0 || *figure > 0 || *ingest {
-			fmt.Fprintln(os.Stderr, "benchtables: -query cannot be combined with -table/-figure/-ingest")
+		if *table > 0 || *figure > 0 || *ingest || *srv {
+			fmt.Fprintln(os.Stderr, "benchtables: -query cannot be combined with -table/-figure/-ingest/-serve")
 			os.Exit(2)
 		}
 		add("Query", func(o bench.Options) error {
@@ -77,13 +80,23 @@ func main() {
 			return err
 		})
 	case *ingest:
-		if *table > 0 || *figure > 0 {
-			fmt.Fprintln(os.Stderr, "benchtables: -ingest cannot be combined with -table/-figure")
+		if *table > 0 || *figure > 0 || *srv {
+			fmt.Fprintln(os.Stderr, "benchtables: -ingest cannot be combined with -table/-figure/-serve")
 			os.Exit(2)
 		}
 		add("Ingest", func(o bench.Options) error {
 			rep, err := bench.IngestBenchReport(o)
 			ingestDetail = rep
+			return err
+		})
+	case *srv:
+		if *table > 0 || *figure > 0 {
+			fmt.Fprintln(os.Stderr, "benchtables: -serve cannot be combined with -table/-figure")
+			os.Exit(2)
+		}
+		add("Serve", func(o bench.Options) error {
+			rep, err := bench.ServeBenchReport(o)
+			serveDetail = rep
 			return err
 		})
 	case *table > 0:
@@ -136,6 +149,7 @@ func main() {
 		Graph   *bench.GraphReport  `json:"graph,omitempty"`
 		Query   *bench.QueryReport  `json:"query,omitempty"`
 		Ingest  *bench.IngestReport `json:"ingest,omitempty"`
+		Serve   *bench.ServeReport  `json:"serve,omitempty"`
 	}{Seed: *seed, Scale: *scale}
 	for _, j := range jobs {
 		start := time.Now()
@@ -151,6 +165,7 @@ func main() {
 	report.Graph = graphDetail
 	report.Query = queryDetail
 	report.Ingest = ingestDetail
+	report.Serve = serveDetail
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

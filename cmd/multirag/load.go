@@ -1,0 +1,355 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multirag"
+	"multirag/internal/par"
+	"multirag/internal/serve"
+)
+
+// The -load and -ingest-load harnesses measure the real serving path: every
+// request travels through the HTTP front door (admission, batch formation,
+// bounded queues), either an in-process `multirag serve` on a loopback
+// listener or an external server named by -target.
+
+// startLoadServer brings up an in-process front door over sys on a loopback
+// listener and returns its base URL plus a shutdown func. Admission is left
+// unlimited — the harness offers the load, the bounded queues and committer
+// backpressure do the shedding — so rejected counts reflect real saturation,
+// not a self-imposed rate cap.
+func startLoadServer(sys *multirag.System, policy string) (string, func()) {
+	srv, err := serve.New(serve.Config{
+		System:       sys,
+		Policy:       policy,
+		QueueTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		fatal("load server: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal("load server listen: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() {
+		_ = hs.Close()
+		srv.Close()
+	}
+}
+
+// loadClient builds an HTTP client whose connection pool matches the
+// harness concurrency, so keep-alive reuse works instead of a dial per
+// request.
+func loadClient(conns int) *http.Client {
+	if conns < 2 {
+		conns = 2
+	}
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * conns,
+		MaxIdleConnsPerHost: 2 * conns,
+	}}
+}
+
+// postStatus POSTs one JSON body and returns the HTTP status, draining the
+// response so the connection is reusable.
+func postStatus(client *http.Client, url string, body any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// fetchMetrics reads the server's /v1/metrics snapshot.
+func fetchMetrics(client *http.Client, base string) (serve.MetricsSnapshot, error) {
+	var snap serve.MetricsSnapshot
+	resp, err := client.Get(base + "/v1/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// loadOutcome classifies one request of a load run.
+type loadOutcome int32
+
+const (
+	outcomeOK loadOutcome = iota
+	outcomeRejected
+	outcomeTimedOut
+	outcomeError
+)
+
+func classify(status int, err error) loadOutcome {
+	switch {
+	case err != nil:
+		return outcomeError
+	case status == http.StatusOK:
+		return outcomeOK
+	case status == http.StatusTooManyRequests:
+		return outcomeRejected
+	case status == http.StatusServiceUnavailable:
+		return outcomeTimedOut
+	default:
+		return outcomeError
+	}
+}
+
+// runLoad drives the workload through the HTTP serving path and reports the
+// per-request latency distribution — p50/p95/p99 by the shared nearest-rank
+// helper, plus rejected/timed-out counts and the server's own per-class view.
+//
+// With -qps 0 a closed loop keeps exactly `workers` requests in flight. With
+// a target rate, every request is scheduled at the absolute instant
+// start + i*interval and launched by its own goroutine: a lagging request
+// can never push later launch times (no cumulative drift), and because each
+// latency is measured from the *scheduled* instant, coordinated omission
+// shows up in the tail instead of being hidden. The report states offered
+// vs. achieved rate so a harness that could not sustain the offered rate is
+// visible rather than silently degraded.
+func runLoad(sys *multirag.System, queries []string, qps float64, workers int, target, policy, class string) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	base := target
+	if base == "" {
+		var shutdown func()
+		base, shutdown = startLoadServer(sys, policy)
+		defer shutdown()
+	}
+	client := loadClient(workers)
+	url := base + "/v1/query"
+
+	n := len(queries)
+	lat := make([]time.Duration, n)
+	outcomes := make([]loadOutcome, n)
+	start := time.Now()
+	if qps <= 0 {
+		par.ForEach(workers, n, func(i int) {
+			t0 := time.Now()
+			status, err := postStatus(client, url, serve.QueryRequest{Query: queries[i], Class: class})
+			lat[i] = time.Since(t0)
+			outcomes[i] = classify(status, err)
+		})
+	} else {
+		interval := time.Duration(float64(time.Second) / qps)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func(i int, sched time.Time) {
+				defer wg.Done()
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				status, err := postStatus(client, url, serve.QueryRequest{Query: queries[i], Class: class})
+				// Latency from the scheduled instant: queueing delay the
+				// system caused — including launch lateness — counts.
+				lat[i] = time.Since(sched)
+				outcomes[i] = classify(status, err)
+			}(i, start.Add(time.Duration(i)*interval))
+		}
+		wg.Wait()
+	}
+	total := time.Since(start)
+
+	var okLat []time.Duration
+	counts := map[loadOutcome]int{}
+	for i, o := range outcomes {
+		counts[o]++
+		if o == outcomeOK {
+			okLat = append(okLat, lat[i])
+		}
+	}
+
+	mode := "closed loop"
+	if qps > 0 {
+		mode = fmt.Sprintf("open loop @ %.0f qps offered", qps)
+	}
+	fmt.Printf("load test: %d requests over HTTP (%s), %s, %d workers, policy %s, class %s\n",
+		n, base, mode, workers, policy, class)
+	achieved := float64(n) / total.Seconds()
+	if qps > 0 {
+		fmt.Printf("  rate: offered %.0f qps, achieved %.0f qps (%.1f%%) in %v\n",
+			qps, achieved, 100*achieved/qps, total.Round(time.Millisecond))
+	} else {
+		fmt.Printf("  throughput: %.0f qps achieved in %v\n", achieved, total.Round(time.Millisecond))
+	}
+	fmt.Printf("  outcomes: %d ok, %d rejected (429), %d timed out (503), %d errors\n",
+		counts[outcomeOK], counts[outcomeRejected], counts[outcomeTimedOut], counts[outcomeError])
+	if len(okLat) > 0 {
+		qs := serve.Quantiles(okLat, 0.50, 0.95, 0.99, 1)
+		fmt.Printf("  latency: p50 %v  p95 %v  p99 %v  max %v\n",
+			qs[0].Round(time.Microsecond), qs[1].Round(time.Microsecond),
+			qs[2].Round(time.Microsecond), qs[3].Round(time.Microsecond))
+	}
+	printServerView(client, base)
+}
+
+// runIngestLoad drives n synthetic files through the HTTP ingest endpoint
+// from a shared stream drained by `producers` goroutines — the ingest mirror
+// of the query -load mode. Each request's latency spans admission, any
+// committer backpressure retries and the group-commit publish. A failing
+// producer does not abort the process mid-test: the first error is recorded,
+// every producer drains, and the error is reported from the main goroutine.
+func runIngestLoad(sys *multirag.System, n, producers int, target string) {
+	if producers <= 0 {
+		producers = runtime.GOMAXPROCS(0)
+	}
+	base := target
+	if base == "" {
+		var shutdown func()
+		base, shutdown = startLoadServer(sys, serve.PolicyFCFS)
+		defer shutdown()
+	}
+	client := loadClient(producers)
+	url := base + "/v1/ingest"
+
+	lat := make([]time.Duration, n)
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		retries  atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for w := 0; w < producers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				req := ingestRequest(i)
+				t0 := time.Now()
+				for {
+					status, err := postStatus(client, url, req)
+					if err == nil && status == http.StatusOK {
+						break
+					}
+					if err == nil && status == http.StatusTooManyRequests {
+						// Committer backpressure: back off briefly and retry
+						// the same file, like any well-behaved ingest client.
+						retries.Add(1)
+						time.Sleep(time.Millisecond)
+						if stop.Load() {
+							return
+						}
+						continue
+					}
+					if err == nil {
+						err = fmt.Errorf("ingest file %d: HTTP %d", i, status)
+					}
+					errOnce.Do(func() {
+						firstErr = err
+						stop.Store(true)
+					})
+					return
+				}
+				lat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	total := time.Since(start)
+	if firstErr != nil {
+		fatal("ingest-load: %v", firstErr)
+	}
+
+	st := sys.Stats()
+	if target != "" {
+		// The corpus lives behind -target; read its stats over the wire.
+		if remote, err := fetchStats(client, base); err == nil {
+			st = remote
+		}
+	}
+	fmt.Printf("ingest load test: %d files over HTTP (%s), %d producers\n", n, base, producers)
+	fmt.Printf("  throughput: %.0f files/s in %v (%d triples, %d chunks indexed, %d backpressure retries)\n",
+		float64(n)/total.Seconds(), total.Round(time.Millisecond), st.Triples, st.Chunks, retries.Load())
+	qs := serve.Quantiles(lat, 0.50, 0.95, 0.99, 1)
+	fmt.Printf("  commit latency: p50 %v  p95 %v  p99 %v  max %v\n",
+		qs[0].Round(time.Microsecond), qs[1].Round(time.Microsecond),
+		qs[2].Round(time.Microsecond), qs[3].Round(time.Microsecond))
+	printServerView(client, base)
+}
+
+// fetchStats reads the served corpus statistics.
+func fetchStats(client *http.Client, base string) (multirag.Stats, error) {
+	var st multirag.Stats
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats: HTTP %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// printServerView reports the server's own per-class accounting — the same
+// numbers /v1/metrics serves in production, computed by the shared
+// nearest-rank percentile helper.
+func printServerView(client *http.Client, base string) {
+	snap, err := fetchMetrics(client, base)
+	if err != nil {
+		fmt.Printf("  (metrics endpoint unavailable: %v)\n", err)
+		return
+	}
+	fmt.Printf("  server view (policy %s, Jain fairness %.3f):\n", snap.Policy, snap.JainFairness)
+	for _, c := range snap.Classes {
+		if c.Completed+c.RejectedAdmission+c.RejectedQueue+c.TimedOut+c.Failed == 0 {
+			continue
+		}
+		fmt.Printf("    %-12s %6d ok  %4d rejected  %4d timeout  p50 %s  p95 %s  p99 %s\n",
+			c.Name, c.Completed, c.RejectedAdmission+c.RejectedQueue, c.TimedOut,
+			fmtMicros(c.P50Micros), fmtMicros(c.P95Micros), fmtMicros(c.P99Micros))
+	}
+}
+
+func fmtMicros(us float64) string {
+	return time.Duration(us * float64(time.Microsecond)).Round(time.Microsecond).String()
+}
+
+// ingestRequest synthesises the i-th file of the ingest-load stream as an
+// HTTP payload: a small kg-format feed whose subjects recur across the
+// stream, so homologous groups keep growing the way repeated multi-source
+// feeds grow them in practice.
+func ingestRequest(i int) serve.IngestRequest {
+	subj := fmt.Sprintf("Flight %d", i%200)
+	content := fmt.Sprintf("%s|status|%s\n%s|gate|G%d\n%s|delay_reason|%s\n",
+		subj, []string{"On time", "Delayed", "Boarding"}[i%3],
+		subj, i%40,
+		subj, []string{"Weather", "Crew", "Traffic"}[i%3])
+	return serve.IngestRequest{Files: []serve.IngestFile{{
+		Domain:  "flights",
+		Source:  fmt.Sprintf("feed-%d", i%8),
+		Name:    fmt.Sprintf("update-%d", i),
+		Format:  "kg",
+		Content: content,
+	}}}
+}

@@ -1,6 +1,7 @@
 // Command multirag is the interactive CLI for the MultiRAG library: it
-// ingests data files into a knowledge-guided retrieval system and answers
-// queries with multi-level confidence filtering.
+// ingests data files into a knowledge-guided retrieval system, answers
+// queries with multi-level confidence filtering, and serves the pipeline
+// over HTTP with SLO-aware admission control.
 //
 // Usage:
 //
@@ -8,10 +9,17 @@
 //	multirag -demo                 # built-in CA981 case-study corpus
 //	multirag -demo -stats          # corpus statistics after ingestion
 //	multirag -demo -ask "..." -explain
-//	multirag -demo -load 2000             # closed-loop latency test (p50/p95/p99)
-//	multirag -demo -load 2000 -qps 500    # open-loop at a target arrival rate
-//	multirag -ingest-load 500 -producers 4          # pipelined ingest load test
+//	multirag serve -demo -addr :8473        # HTTP front door (see multirag serve -h)
+//	multirag -demo -load 2000               # closed-loop HTTP latency test (p50/p95/p99)
+//	multirag -demo -load 2000 -qps 500      # open-loop at a target arrival rate
+//	multirag -demo -load 2000 -target http://host:8473   # aim at a running server
+//	multirag -ingest-load 500 -producers 4          # pipelined ingest load test over HTTP
 //	multirag -ingest-load 500 -producers 4 -serial-ingest   # serialized baseline
+//
+// The -load and -ingest-load harnesses drive the real serving path: they
+// start an in-process `multirag serve` front door (or aim at -target) and
+// measure HTTP request latency, so the numbers include admission, batch
+// formation and queueing — not just engine time.
 //
 // File formats are inferred from extensions: .csv, .json, .xml, .kg, .txt.
 package main
@@ -21,18 +29,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
-	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"multirag"
-	"multirag/internal/par"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServeCmd(os.Args[2:])
+		return
+	}
 	var (
 		ingest  = flag.String("ingest", "", "comma-separated data files to ingest")
 		domain  = flag.String("domain", "data", "domain label for ingested files")
@@ -47,9 +53,12 @@ func main() {
 		cache   = flag.Int("cache", 0, "answer cache size in entries (0 = disabled)")
 		k       = flag.Int("k", 5, "documents to retrieve with -retrieve")
 		retr    = flag.String("retrieve", "", "retrieve supporting documents for a query")
-		load    = flag.Int("load", 0, "run a query load test of this many requests (0 = off)")
+		load    = flag.Int("load", 0, "run an HTTP query load test of this many requests (0 = off)")
 		qps     = flag.Float64("qps", 0, "offered arrival rate for -load (0 = closed loop at pool concurrency)")
-		ingLoad = flag.Int("ingest-load", 0, "run an ingest load test of this many synthetic files (0 = off)")
+		target  = flag.String("target", "", "base URL of a running `multirag serve` for -load/-ingest-load (default: in-process server)")
+		policy  = flag.String("policy", "fcfs", "batch-formation policy of the in-process load server (fcfs|sjf|priority)")
+		class   = flag.String("class", "interactive", "SLO class -load requests are tagged with")
+		ingLoad = flag.Int("ingest-load", 0, "run an HTTP ingest load test of this many synthetic files (0 = off)")
 		prods   = flag.Int("producers", 0, "concurrent producers for -ingest-load (0 = GOMAXPROCS)")
 		serial  = flag.Bool("serial-ingest", false, "use the serialized ingest baseline instead of the pipelined group commit (A/B)")
 	)
@@ -70,34 +79,18 @@ func main() {
 		}
 	}
 	if *ingest != "" {
-		var files []multirag.File
-		for _, path := range strings.Split(*ingest, ",") {
-			path = strings.TrimSpace(path)
-			content, err := os.ReadFile(path)
-			if err != nil {
-				fatal("read %s: %v", path, err)
-			}
-			format, err := formatOf(path)
-			if err != nil {
-				fatal("%v", err)
-			}
-			base := filepath.Base(path)
-			files = append(files, multirag.File{
-				Domain:  *domain,
-				Source:  strings.TrimSuffix(base, filepath.Ext(base)),
-				Name:    base,
-				Format:  format,
-				Content: content,
-			})
+		files, err := readFiles(*ingest, *domain)
+		if err != nil {
+			fatal("%v", err)
 		}
 		if err := sys.IngestFiles(files...); err != nil {
 			fatal("ingest: %v", err)
 		}
 	}
 	if *ingLoad > 0 {
-		runIngestLoad(sys, *ingLoad, *prods)
+		runIngestLoad(sys, *ingLoad, *prods, *target)
 	}
-	if !*demo && *ingest == "" && *ingLoad == 0 {
+	if !*demo && *ingest == "" && *ingLoad == 0 && *target == "" {
 		fmt.Fprintln(os.Stderr, "multirag: nothing ingested; use -demo, -ingest or -ingest-load (see -h)")
 		os.Exit(2)
 	}
@@ -120,7 +113,7 @@ func main() {
 
 	if *load > 0 {
 		queries := loadQueries(*load, *ask)
-		runLoad(sys, queries, *qps, *workers)
+		runLoad(sys, queries, *qps, *workers, *target, *policy, *class)
 	}
 
 	if *ask != "" {
@@ -142,6 +135,32 @@ func main() {
 			fmt.Printf("  rejected claims: %d\n", ans.Rejected)
 		}
 	}
+}
+
+// readFiles loads a comma-separated path list as ingest files, inferring
+// formats from extensions.
+func readFiles(paths, domain string) ([]multirag.File, error) {
+	var files []multirag.File
+	for _, path := range strings.Split(paths, ",") {
+		path = strings.TrimSpace(path)
+		content, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %v", path, err)
+		}
+		format, err := formatOf(path)
+		if err != nil {
+			return nil, err
+		}
+		base := filepath.Base(path)
+		files = append(files, multirag.File{
+			Domain:  domain,
+			Source:  strings.TrimSuffix(base, filepath.Ext(base)),
+			Name:    base,
+			Format:  format,
+			Content: content,
+		})
+	}
+	return files, nil
 }
 
 func formatOf(path string) (string, error) {
@@ -179,122 +198,6 @@ func loadQueries(n int, ask string) []string {
 		out[i] = base[i%len(base)]
 	}
 	return out
-}
-
-// runLoad drives the workload through the serving pool and reports the
-// per-request latency distribution — p50/p95/p99, not just aggregate
-// seconds, since tail latency is what a heavily-loaded deployment feels.
-// With -qps 0 a closed loop keeps exactly `workers` requests in flight;
-// with a target rate, requests are dispatched open-loop on the arrival
-// schedule and latency includes any queueing delay the system caused.
-func runLoad(sys *multirag.System, queries []string, qps float64, workers int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	n := len(queries)
-	lat := make([]time.Duration, n)
-	start := time.Now()
-	if qps <= 0 {
-		par.ForEach(workers, n, func(i int) {
-			t0 := time.Now()
-			sys.Ask(queries[i])
-			lat[i] = time.Since(t0)
-		})
-	} else {
-		interval := time.Duration(float64(time.Second) / qps)
-		var wg sync.WaitGroup
-		wg.Add(n)
-		for i := 0; i < n; i++ {
-			sched := start.Add(time.Duration(i) * interval)
-			if d := time.Until(sched); d > 0 {
-				time.Sleep(d)
-			}
-			go func(i int, sched time.Time) {
-				defer wg.Done()
-				sys.Ask(queries[i])
-				lat[i] = time.Since(sched)
-			}(i, sched)
-		}
-		wg.Wait()
-	}
-	total := time.Since(start)
-	sorted := append([]time.Duration(nil), lat...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	pct := func(p float64) time.Duration {
-		return sorted[int(p*float64(n-1))]
-	}
-	mode := "closed loop"
-	if qps > 0 {
-		mode = fmt.Sprintf("open loop @ %.0f qps offered", qps)
-	}
-	fmt.Printf("load test: %d requests, %s, %d workers\n", n, mode, workers)
-	fmt.Printf("  throughput: %.0f qps achieved in %v\n", float64(n)/total.Seconds(), total.Round(time.Millisecond))
-	fmt.Printf("  latency: p50 %v  p95 %v  p99 %v  max %v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), sorted[n-1].Round(time.Microsecond))
-}
-
-// runIngestLoad drives n synthetic files through IngestFiles from a shared
-// stream drained by `producers` goroutines — the ingest mirror of the query
-// -load mode. It reports aggregate files/s plus the per-call commit-latency
-// distribution (each call's latency spans its fan-out, any group-commit
-// queueing and the snapshot publish).
-func runIngestLoad(sys *multirag.System, n, producers int) {
-	if producers <= 0 {
-		producers = runtime.GOMAXPROCS(0)
-	}
-	lat := make([]time.Duration, n)
-	var next atomic.Int64
-	start := time.Now()
-	var wg sync.WaitGroup
-	wg.Add(producers)
-	for w := 0; w < producers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				f := ingestLoadFile(i)
-				t0 := time.Now()
-				if err := sys.IngestFiles(f); err != nil {
-					fatal("ingest-load file %d: %v", i, err)
-				}
-				lat[i] = time.Since(t0)
-			}
-		}()
-	}
-	wg.Wait()
-	total := time.Since(start)
-	sorted := append([]time.Duration(nil), lat...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	pct := func(p float64) time.Duration { return sorted[int(p*float64(n-1))] }
-	st := sys.Stats()
-	fmt.Printf("ingest load test: %d files, %d producers\n", n, producers)
-	fmt.Printf("  throughput: %.0f files/s in %v (%d triples, %d chunks indexed)\n",
-		float64(n)/total.Seconds(), total.Round(time.Millisecond), st.Triples, st.Chunks)
-	fmt.Printf("  commit latency: p50 %v  p95 %v  p99 %v  max %v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), sorted[n-1].Round(time.Microsecond))
-}
-
-// ingestLoadFile synthesises the i-th file of the ingest-load stream: a small
-// kg-format feed whose subjects recur across the stream, so homologous groups
-// keep growing the way repeated multi-source feeds grow them in practice.
-func ingestLoadFile(i int) multirag.File {
-	subj := fmt.Sprintf("Flight %d", i%200)
-	content := fmt.Sprintf("%s|status|%s\n%s|gate|G%d\n%s|delay_reason|%s\n",
-		subj, []string{"On time", "Delayed", "Boarding"}[i%3],
-		subj, i%40,
-		subj, []string{"Weather", "Crew", "Traffic"}[i%3])
-	return multirag.File{
-		Domain:  "flights",
-		Source:  fmt.Sprintf("feed-%d", i%8),
-		Name:    fmt.Sprintf("update-%d", i),
-		Format:  "kg",
-		Content: []byte(content),
-	}
 }
 
 func demoFiles() []multirag.File {

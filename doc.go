@@ -28,6 +28,14 @@
 // goroutines and IngestFiles never blocks readers. See DESIGN.md for the
 // snapshot/delta architecture.
 //
+// For deployment as a service, internal/serve (exposed as the `multirag
+// serve` subcommand) wraps a System in an HTTP/JSON front door with
+// token-bucket admission control per SLO class, pluggable batch-formation
+// policies (fcfs / sjf / priority), bounded request queues whose ingest
+// backpressure couples to the group committer via IngestPressure, and a
+// metrics endpoint reporting per-class latency percentiles and Jain
+// fairness. See DESIGN.md §8.
+//
 // The public API wraps the internal modules: adapters (internal/adapter),
 // the DSM columnar store (internal/dsm), JSON-LD normalisation
 // (internal/jsonld), knowledge-graph storage (internal/kg), the line-graph

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"multirag"
+	"multirag/internal/adapter"
+	"multirag/internal/serve"
+)
+
+// ServeReport carries the structured serving-layer benchmark results for
+// BENCH_serve.json (stdout gets the human-readable table).
+type ServeReport struct {
+	Cells []ServeCell `json:"cells"`
+}
+
+// ServeCell is one (policy, corpus size) measurement of the HTTP front door
+// under concurrent two-class load: aggregate completed throughput, Jain
+// fairness over the per-class completions, and the server-side per-class
+// outcome counts and tail latencies (computed by the shared nearest-rank
+// percentile helper).
+type ServeCell struct {
+	Policy        string           `json:"policy"`
+	N             int              `json:"n"` // corpus entities
+	Requests      int              `json:"requests"`
+	Clients       int              `json:"clients"`
+	ThroughputRPS float64          `json:"throughput_rps"`
+	JainFairness  float64          `json:"jain_fairness"`
+	Classes       []ServeClassCell `json:"classes"`
+}
+
+// ServeClassCell is one SLO class's slice of a ServeCell.
+type ServeClassCell struct {
+	Class             string  `json:"class"`
+	Completed         int64   `json:"completed"`
+	RejectedAdmission int64   `json:"rejected_admission"`
+	RejectedQueue     int64   `json:"rejected_queue"`
+	TimedOut          int64   `json:"timed_out"`
+	P50Micros         float64 `json:"p50_us"`
+	P95Micros         float64 `json:"p95_us"`
+	P99Micros         float64 `json:"p99_us"`
+}
+
+// serveReport collects cells for the current ServeBench run when the caller
+// asked for them (benchtables -serve -json).
+var serveReport *ServeReport
+
+// ServeBenchReport runs ServeBench and returns the structured cells.
+func ServeBenchReport(o Options) (*ServeReport, error) {
+	rep := &ServeReport{}
+	serveReport = rep
+	defer func() { serveReport = nil }()
+	if err := ServeBench(o); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// ServeBench is the serving-layer benchmark behind `make bench-serve`. It
+// stands up the HTTP front door over a mid-size corpus and drives the same
+// two-class closed-loop workload — latency-sensitive "interactive" lookups
+// and comparisons against throughput-oriented "batch" multi-hop and fallback
+// queries — through each batch-formation policy. Every request travels the
+// full serving path (HTTP, admission, bounded queues, batch formation,
+// QueryBatch), so the numbers measure what a deployment would see. The batch
+// class carries a finite admission rate, so the rejected-load accounting is
+// exercised whenever the offered rate exceeds it; the interactive class is
+// admission-unlimited and measures scheduling, not shedding.
+func ServeBench(o Options) error {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	scale := o.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(3000 * scale)
+	if n < 96 {
+		n = 96
+	}
+	requests := int(1600 * scale)
+	if requests < 160 {
+		requests = 160
+	}
+	const clientsPerClass = 8
+
+	// Half the workload per class, interleaved intents inside each.
+	perClass := requests / 2
+	interactive := append(lookupMix(n, perClass/2), comparisonMix(n, perClass-perClass/2)...)
+	batchQs := append(multiHopMix(n, perClass/2), fallbackMix(n, perClass-perClass/2)...)
+
+	fmt.Fprintf(o.Out, "Serving-layer benchmark (%d requests over HTTP, %d clients/class, n=%d entities)\n",
+		len(interactive)+len(batchQs), clientsPerClass, n)
+	fmt.Fprintf(o.Out, "interactive = lookup+comparison, admission-unlimited; batch = multi-hop+fallback, rate-limited (400 req/s, burst 32)\n")
+
+	files := queryCorpusFiles(n)
+	for _, policy := range []string{serve.PolicyFCFS, serve.PolicySJF, serve.PolicyPriority} {
+		cell, err := serveBenchPolicy(seed, files, policy, n, interactive, batchQs, clientsPerClass)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "\n--- policy %s ---\n", policy)
+		fmt.Fprintf(o.Out, "throughput %8.0f req/s   Jain fairness %.3f\n", cell.ThroughputRPS, cell.JainFairness)
+		for _, c := range cell.Classes {
+			fmt.Fprintf(o.Out, "%-12s %6d ok  %4d rejected  %4d timeout   p50 %8.0fµs  p95 %8.0fµs  p99 %8.0fµs\n",
+				c.Class, c.Completed, c.RejectedAdmission+c.RejectedQueue, c.TimedOut,
+				c.P50Micros, c.P95Micros, c.P99Micros)
+		}
+		if serveReport != nil {
+			serveReport.Cells = append(serveReport.Cells, cell)
+		}
+	}
+	return nil
+}
+
+// serveBenchPolicy measures one policy: fresh system, fresh front door,
+// closed-loop drain of both class workloads from concurrent HTTP clients.
+func serveBenchPolicy(seed uint64, files []adapter.RawFile, policy string, n int, interactive, batchQs []string, clients int) (ServeCell, error) {
+	sys := multirag.Open(multirag.Config{Seed: seed})
+	if err := sys.IngestFiles(rawToFiles(files)...); err != nil {
+		return ServeCell{}, fmt.Errorf("serve bench ingest: %w", err)
+	}
+	srv, err := serve.New(serve.Config{
+		System: sys,
+		Policy: policy,
+		Classes: []serve.Class{
+			{Name: "interactive", Priority: 2, QueueCap: 1024},
+			{Name: "batch", Priority: 1, Rate: 400, Burst: 32, QueueCap: 1024},
+		},
+		QueueTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return ServeCell{}, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4 * clients,
+		MaxIdleConnsPerHost: 4 * clients,
+	}}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*clients)
+	for _, cl := range []struct {
+		class string
+		qs    []string
+	}{{"interactive", interactive}, {"batch", batchQs}} {
+		per := (len(cl.qs) + clients - 1) / clients
+		for c := 0; c < clients; c++ {
+			lo := c * per
+			hi := min(lo+per, len(cl.qs))
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(class string, qs []string) {
+				defer wg.Done()
+				for _, q := range qs {
+					status, err := servePost(client, ts.URL+"/v1/query", serve.QueryRequest{Query: q, Class: class})
+					if err != nil {
+						errs <- fmt.Errorf("serve bench %s: %w", class, err)
+						return
+					}
+					switch status {
+					case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					default:
+						errs <- fmt.Errorf("serve bench %s: HTTP %d", class, status)
+						return
+					}
+				}
+			}(cl.class, cl.qs[lo:hi])
+		}
+	}
+	wg.Wait()
+	total := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return ServeCell{}, err
+		}
+	}
+
+	snap := srv.Metrics()
+	cell := ServeCell{
+		Policy:       policy,
+		N:            n,
+		Requests:     len(interactive) + len(batchQs),
+		Clients:      2 * clients,
+		JainFairness: snap.JainFairness,
+	}
+	var completed int64
+	for _, c := range snap.Classes {
+		if c.Completed+c.RejectedAdmission+c.RejectedQueue+c.TimedOut+c.Failed == 0 {
+			continue
+		}
+		completed += c.Completed
+		cell.Classes = append(cell.Classes, ServeClassCell{
+			Class:             c.Name,
+			Completed:         c.Completed,
+			RejectedAdmission: c.RejectedAdmission,
+			RejectedQueue:     c.RejectedQueue,
+			TimedOut:          c.TimedOut,
+			P50Micros:         c.P50Micros,
+			P95Micros:         c.P95Micros,
+			P99Micros:         c.P99Micros,
+		})
+	}
+	cell.ThroughputRPS = float64(completed) / total.Seconds()
+	return cell, nil
+}
+
+// rawToFiles maps the bench corpus shape onto the public ingest shape the
+// front door's System consumes.
+func rawToFiles(raw []adapter.RawFile) []multirag.File {
+	out := make([]multirag.File, len(raw))
+	for i, f := range raw {
+		out[i] = multirag.File{
+			Domain: f.Domain, Source: f.Source, Name: f.Name,
+			Format: f.Format, Meta: f.Meta, Content: f.Content,
+		}
+	}
+	return out
+}
+
+// servePost POSTs one JSON payload and returns the status, draining the body
+// for connection reuse.
+func servePost(client *http.Client, url string, body any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -68,6 +68,19 @@ func (gc *groupCommitter) readyRun() int {
 	return run
 }
 
+// IngestPressure reports the group committer's admission state: how many
+// Ingest calls are past admission (preparing, queued or committing) and the
+// admission capacity at which further callers block. Serving layers use it to
+// convert what would be blocking admission into early rejection — shedding
+// load at the front door (HTTP 429) instead of parking request handlers on
+// the committer condvar.
+func (s *System) IngestPressure() (inflight, capacity int) {
+	gc := &s.gc
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.inflight, maxPendingBatches
+}
+
 // admit assigns the caller its commit ticket, blocking while the pipeline is
 // at capacity. Arrival order is ticket order by definition.
 func (s *System) admit(p *prepared) {

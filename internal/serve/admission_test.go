@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurst(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newTokenBucket(10, 3, now)
+	for i := 0; i < 3; i++ {
+		if !b.take(1, now) {
+			t.Fatalf("take %d within burst rejected", i)
+		}
+	}
+	if b.take(1, now) {
+		t.Fatal("take beyond burst admitted with no refill time")
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newTokenBucket(10, 2, now)
+	if !b.take(2, now) {
+		t.Fatal("initial burst rejected")
+	}
+	if b.take(1, now) {
+		t.Fatal("empty bucket admitted")
+	}
+	// 100ms at 10 tokens/s refills exactly one token.
+	now = now.Add(100 * time.Millisecond)
+	if !b.take(1, now) {
+		t.Fatal("refilled token rejected")
+	}
+	if b.take(1, now) {
+		t.Fatal("second take after single-token refill admitted")
+	}
+	// Refill caps at burst: a long idle stretch must not bank extra tokens.
+	now = now.Add(time.Hour)
+	if !b.take(2, now) {
+		t.Fatal("burst after long idle rejected")
+	}
+	if b.take(1, now) {
+		t.Fatal("take beyond capped burst admitted")
+	}
+}
+
+func TestTokenBucketClockNeverRewinds(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newTokenBucket(10, 1, now)
+	if !b.take(1, now) {
+		t.Fatal("initial take rejected")
+	}
+	// An out-of-order (earlier) timestamp must not mint tokens or move the
+	// clock backwards.
+	if b.take(1, now.Add(-time.Hour)) {
+		t.Fatal("backwards clock minted tokens")
+	}
+	if !b.take(1, now.Add(100*time.Millisecond)) {
+		t.Fatal("forward refill after backwards sample rejected")
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	b := newTokenBucket(0, 0, time.Unix(1000, 0))
+	for i := 0; i < 1000; i++ {
+		if !b.take(1, time.Unix(1000, 0)) {
+			t.Fatal("unlimited bucket rejected")
+		}
+	}
+}
+
+func TestTokenBucketDefaultBurst(t *testing.T) {
+	now := time.Unix(1000, 0)
+	// Burst defaults to max(1, rate): a sub-1/s rate still admits one whole
+	// request.
+	b := newTokenBucket(0.5, 0, now)
+	if !b.take(1, now) {
+		t.Fatal("default burst below one request")
+	}
+	if b.take(1, now) {
+		t.Fatal("sub-1/s bucket admitted a second instant request")
+	}
+}

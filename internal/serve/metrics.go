@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// ClassMetrics is one SLO class's serving report: outcome counters plus the
+// completed-request latency distribution (queue wait + execution, measured
+// from admission to answer delivery), percentiles by the shared nearest-rank
+// helper.
+type ClassMetrics struct {
+	Name              string  `json:"name"`
+	Completed         int64   `json:"completed"`
+	RejectedAdmission int64   `json:"rejected_admission"`
+	RejectedQueue     int64   `json:"rejected_queue"`
+	TimedOut          int64   `json:"timed_out"`
+	Failed            int64   `json:"failed"`
+	P50Micros         float64 `json:"p50_us"`
+	P95Micros         float64 `json:"p95_us"`
+	P99Micros         float64 `json:"p99_us"`
+	MaxMicros         float64 `json:"max_us"`
+	MeanMicros        float64 `json:"mean_us"`
+	ThroughputRPS     float64 `json:"throughput_rps"`
+}
+
+// MetricsSnapshot is the /v1/metrics payload.
+type MetricsSnapshot struct {
+	Policy        string         `json:"policy"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Classes       []ClassMetrics `json:"classes"`
+	// JainFairness is Jain's index (Σx)²/(n·Σx²) over the per-class completed
+	// counts of classes that saw any traffic: 1.0 = perfectly even service
+	// across classes, 1/n = one class monopolised the server.
+	JainFairness float64 `json:"jain_fairness"`
+	// QueueDepths reports the scheduler's pending-request queue length per
+	// class at snapshot time.
+	QueueDepths map[string]int `json:"queue_depths"`
+	// IngestInflight/IngestCapacity mirror the group committer's admission
+	// state (core.IngestPressure) — the coupling that turns committer
+	// saturation into front-door 429s.
+	IngestInflight int `json:"ingest_inflight"`
+	IngestCapacity int `json:"ingest_capacity"`
+}
+
+// classCounters accumulates one class's outcomes.
+type classCounters struct {
+	completed         int64
+	rejectedAdmission int64
+	rejectedQueue     int64
+	timedOut          int64
+	failed            int64
+	lat               []time.Duration
+}
+
+// metrics collects per-class serving outcomes under one mutex. Latencies are
+// appended raw and digested only at snapshot time, keeping the record path a
+// few instructions.
+type metrics struct {
+	mu      sync.Mutex
+	classes map[string]*classCounters
+	order   []string
+	start   time.Time
+}
+
+func newMetrics(order []string) *metrics {
+	m := &metrics{classes: map[string]*classCounters{}, order: order, start: time.Now()}
+	for _, name := range order {
+		m.classes[name] = &classCounters{}
+	}
+	return m
+}
+
+func (m *metrics) class(name string) *classCounters {
+	c := m.classes[name]
+	if c == nil {
+		c = &classCounters{}
+		m.classes[name] = c
+		m.order = append(m.order, name)
+	}
+	return c
+}
+
+func (m *metrics) record(name string, d time.Duration) {
+	m.mu.Lock()
+	c := m.class(name)
+	c.completed++
+	c.lat = append(c.lat, d)
+	m.mu.Unlock()
+}
+
+func (m *metrics) rejectAdmission(name string) {
+	m.mu.Lock()
+	m.class(name).rejectedAdmission++
+	m.mu.Unlock()
+}
+
+func (m *metrics) rejectQueue(name string) {
+	m.mu.Lock()
+	m.class(name).rejectedQueue++
+	m.mu.Unlock()
+}
+
+func (m *metrics) timeout(name string) {
+	m.mu.Lock()
+	m.class(name).timedOut++
+	m.mu.Unlock()
+}
+
+func (m *metrics) fail(name string) {
+	m.mu.Lock()
+	m.class(name).failed++
+	m.mu.Unlock()
+}
+
+// snapshot digests the counters into the wire shape.
+func (m *metrics) snapshot(policy string) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	uptime := time.Since(m.start)
+	snap := MetricsSnapshot{
+		Policy:        policy,
+		UptimeSeconds: uptime.Seconds(),
+		JainFairness:  1,
+	}
+	var completed []float64
+	for _, name := range m.order {
+		c := m.classes[name]
+		cm := ClassMetrics{
+			Name:              name,
+			Completed:         c.completed,
+			RejectedAdmission: c.rejectedAdmission,
+			RejectedQueue:     c.rejectedQueue,
+			TimedOut:          c.timedOut,
+			Failed:            c.failed,
+		}
+		if len(c.lat) > 0 {
+			qs := Quantiles(c.lat, 0.50, 0.95, 0.99, 1)
+			cm.P50Micros = micros(qs[0])
+			cm.P95Micros = micros(qs[1])
+			cm.P99Micros = micros(qs[2])
+			cm.MaxMicros = micros(qs[3])
+			var sum time.Duration
+			for _, d := range c.lat {
+				sum += d
+			}
+			cm.MeanMicros = micros(sum) / float64(len(c.lat))
+		}
+		if uptime > 0 {
+			cm.ThroughputRPS = float64(c.completed) / uptime.Seconds()
+		}
+		if c.completed+c.rejectedAdmission+c.rejectedQueue+c.timedOut+c.failed > 0 {
+			completed = append(completed, float64(c.completed))
+		}
+		snap.Classes = append(snap.Classes, cm)
+	}
+	snap.JainFairness = JainIndex(completed)
+	return snap
+}
+
+// JainIndex is Jain's fairness index (Σx)²/(n·Σx²) over the per-class
+// allocation x (completed requests here): 1 when every class got the same
+// share, 1/n when one class got everything. An empty or all-zero allocation
+// is vacuously fair.
+func JainIndex(x []float64) float64 {
+	if len(x) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, v := range x {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(x)) * sumSq)
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

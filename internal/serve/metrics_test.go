@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		x    []float64
+		want float64
+	}{
+		{nil, 1},
+		{[]float64{0, 0}, 1},
+		{[]float64{5}, 1},
+		{[]float64{10, 10, 10}, 1},
+		{[]float64{1, 0}, 0.5},
+		{[]float64{4, 0, 0, 0}, 0.25},
+		{[]float64{2, 1}, 0.9},
+	}
+	for _, c := range cases {
+		if got := JainIndex(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("JainIndex(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// TestMetricsSnapshotUsesNearestRank pins the serving metrics onto the fixed
+// shared percentile helper: 50 completed requests at 1..50ms must report
+// p95 = 48ms (rank ceil(0.95*50)=48), not the 47ms the old truncating
+// closure produced.
+func TestMetricsSnapshotUsesNearestRank(t *testing.T) {
+	m := newMetrics([]string{"c"})
+	for i := 1; i <= 50; i++ {
+		m.record("c", time.Duration(i)*time.Millisecond)
+	}
+	snap := m.snapshot(PolicyFCFS)
+	if len(snap.Classes) != 1 {
+		t.Fatalf("classes: %d", len(snap.Classes))
+	}
+	c := snap.Classes[0]
+	if c.P50Micros != 25000 || c.P95Micros != 48000 || c.P99Micros != 50000 || c.MaxMicros != 50000 {
+		t.Fatalf("percentiles: %+v", c)
+	}
+	if c.Completed != 50 {
+		t.Fatalf("completed: %d", c.Completed)
+	}
+	if math.Abs(c.MeanMicros-25500) > 1e-9 {
+		t.Fatalf("mean: %v", c.MeanMicros)
+	}
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Percentile returns the p-quantile (0 <= p <= 1) of sample by the
+// nearest-rank method: the smallest observation v such that at least
+// ceil(p*n) observations are <= v. p = 1 is the maximum; an empty sample
+// yields 0. This is THE percentile implementation for every latency report
+// in the repository (the CLI load harnesses, the serving metrics endpoint
+// and the serve bench) — the previous per-call closures truncated the index
+// (int(p*(n-1))), biasing p95/p99 low for small n and panicking on empty
+// samples.
+func Percentile(sample []time.Duration, p float64) time.Duration {
+	return Quantiles(sample, p)[0]
+}
+
+// Quantiles returns the nearest-rank quantiles of sample at each of ps,
+// sorting one private copy of the sample. The input is not modified.
+func Quantiles(sample []time.Duration, ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if len(sample) == 0 {
+		return out
+	}
+	sorted := append([]time.Duration(nil), sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, p := range ps {
+		out[i] = PercentileSorted(sorted, p)
+	}
+	return out
+}
+
+// PercentileSorted is Percentile over an already-ascending sample, for
+// callers that batch several quantile reads over one sort.
+func PercentileSorted(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multirag"
+)
+
+// Batch-formation policies.
+const (
+	// PolicyFCFS serves requests strictly in arrival order across classes.
+	PolicyFCFS = "fcfs"
+	// PolicySJF serves the cheapest estimated query first (shortest job
+	// first), arrival order among equals — trades worst-case wait of
+	// expensive queries for lower mean latency under mixed load.
+	PolicySJF = "sjf"
+	// PolicyPriority serves the highest-priority class first (Class.Priority,
+	// higher wins), arrival order within a class.
+	PolicyPriority = "priority"
+)
+
+// Estimated query costs for SJF ordering, mirroring the executor's fan-out
+// shapes: a lookup touches one homologous group; a fallback adds chunk
+// retrieval plus per-query LLM extraction; a comparison evaluates two arms; a
+// multi-hop query fans out one bridge sub-question per hop-1 value.
+const (
+	costLookup     = 1
+	costFallback   = 3
+	costComparison = 4
+	costMultiHop   = 5
+)
+
+// EstimateCost scores a query's expected execution cost for SJF batch
+// formation, classifying it by the same grammar the executor parses.
+func EstimateCost(query string) int {
+	q := strings.ToLower(strings.TrimSpace(query))
+	switch {
+	case strings.HasPrefix(q, "do ") && strings.Contains(q, " have the same "):
+		return costComparison
+	case strings.HasPrefix(q, "what is the ") && strings.Contains(q, " of the "):
+		return costMultiHop
+	case strings.HasPrefix(q, "what is the "):
+		return costLookup
+	default:
+		return costFallback
+	}
+}
+
+// Request lifecycle states. A request is pending while queued; the executor
+// claims it with a pending→running CAS before including it in a batch, and
+// the waiting handler claims it with a pending→timedOut CAS when its queue
+// timeout fires — whoever wins the CAS owns the outcome, so a request is
+// never both answered and timed out.
+const (
+	reqPending int32 = iota
+	reqRunning
+	reqTimedOut
+)
+
+// request is one admitted query waiting for batch formation.
+type request struct {
+	query string
+	class *classState
+	cost  int
+	seq   uint64
+	enq   time.Time
+	state atomic.Int32
+	done  chan answerResult
+}
+
+type answerResult struct {
+	answer multirag.Answer
+	err    error
+}
+
+// classState is one configured SLO class at runtime: its admission bucket
+// and its bounded FIFO of pending requests (guarded by the scheduler mutex).
+type classState struct {
+	cfg    Class
+	bucket *tokenBucket
+	fifo   []*request
+}
+
+// errQueueFull / errClosed are the scheduler's rejection reasons.
+var (
+	errQueueFull = errors.New("serve: class queue full")
+	errClosed    = errors.New("serve: server closed")
+)
+
+// scheduler owns the pending-request queues and batch formation. Executors
+// block on the condvar, form one batch per wakeup under the mutex and run it
+// outside.
+type scheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	classes  []*classState
+	pending  int
+	seq      uint64
+	closed   bool
+	policy   string
+	maxBatch int
+}
+
+func newScheduler(policy string, classes []*classState, maxBatch int) *scheduler {
+	s := &scheduler{classes: classes, policy: policy, maxBatch: maxBatch}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue admits one request into its class queue, rejecting when the
+// bounded queue is full — the "bounded queues, not unbounded buffering"
+// half of admission control.
+func (s *scheduler) enqueue(r *request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if len(r.class.fifo) >= r.class.cfg.QueueCap {
+		return errQueueFull
+	}
+	r.seq = s.seq
+	s.seq++
+	r.enq = time.Now()
+	r.class.fifo = append(r.class.fifo, r)
+	s.pending++
+	s.cond.Signal()
+	return nil
+}
+
+// enqueueAll admits a whole batch atomically: either every request fits its
+// class queue or none is enqueued.
+func (s *scheduler) enqueueAll(rs []*request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	need := map[*classState]int{}
+	for _, r := range rs {
+		need[r.class]++
+	}
+	for cs, n := range need {
+		if len(cs.fifo)+n > cs.cfg.QueueCap {
+			return errQueueFull
+		}
+	}
+	now := time.Now()
+	for _, r := range rs {
+		r.seq = s.seq
+		s.seq++
+		r.enq = now
+		r.class.fifo = append(r.class.fifo, r)
+		s.pending++
+	}
+	s.cond.Broadcast()
+	return nil
+}
+
+// next blocks until a batch can be formed or the scheduler closes, returning
+// (nil, false) on close.
+func (s *scheduler) next() ([]*request, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil, false
+		}
+		if batch := s.formBatchLocked(); len(batch) > 0 {
+			return batch, true
+		}
+		// Empty batch means the queues drained (anything popped had already
+		// timed out); block until the next enqueue.
+		s.cond.Wait()
+	}
+}
+
+// formBatchLocked pops up to maxBatch requests in policy order, dropping any
+// whose handler already timed out (their pending→running CAS fails).
+func (s *scheduler) formBatchLocked() []*request {
+	var batch []*request
+	for len(batch) < s.maxBatch {
+		r := s.popLocked()
+		if r == nil {
+			break
+		}
+		s.pending--
+		if !r.state.CompareAndSwap(reqPending, reqRunning) {
+			continue // handler timed it out while queued; drop
+		}
+		batch = append(batch, r)
+	}
+	return batch
+}
+
+// popLocked removes and returns the next request per policy, or nil when
+// every queue is empty.
+func (s *scheduler) popLocked() *request {
+	switch s.policy {
+	case PolicySJF:
+		return s.popSJFLocked()
+	case PolicyPriority:
+		return s.popPriorityLocked()
+	default:
+		return s.popFCFSLocked()
+	}
+}
+
+// popFCFSLocked takes the globally oldest request. Per-class FIFOs are
+// seq-ordered, so the global minimum is at one of the heads.
+func (s *scheduler) popFCFSLocked() *request {
+	var best *classState
+	for _, cs := range s.classes {
+		if len(cs.fifo) == 0 {
+			continue
+		}
+		if best == nil || cs.fifo[0].seq < best.fifo[0].seq {
+			best = cs
+		}
+	}
+	return popHead(best)
+}
+
+// popPriorityLocked takes the head of the highest-priority non-empty class,
+// breaking priority ties by arrival order.
+func (s *scheduler) popPriorityLocked() *request {
+	var best *classState
+	for _, cs := range s.classes {
+		if len(cs.fifo) == 0 {
+			continue
+		}
+		if best == nil ||
+			cs.cfg.Priority > best.cfg.Priority ||
+			(cs.cfg.Priority == best.cfg.Priority && cs.fifo[0].seq < best.fifo[0].seq) {
+			best = cs
+		}
+	}
+	return popHead(best)
+}
+
+// popSJFLocked takes the cheapest estimated request anywhere in the queues
+// (not just the heads — a cheap lookup may sit behind an expensive multi-hop
+// in its own class), breaking cost ties by arrival order. Queues are bounded
+// by QueueCap, so the scan is O(queued).
+func (s *scheduler) popSJFLocked() *request {
+	var (
+		bestCS  *classState
+		bestIdx = -1
+	)
+	for _, cs := range s.classes {
+		for i, r := range cs.fifo {
+			if bestIdx < 0 ||
+				r.cost < bestCS.fifo[bestIdx].cost ||
+				(r.cost == bestCS.fifo[bestIdx].cost && r.seq < bestCS.fifo[bestIdx].seq) {
+				bestCS, bestIdx = cs, i
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return nil
+	}
+	r := bestCS.fifo[bestIdx]
+	bestCS.fifo = append(bestCS.fifo[:bestIdx], bestCS.fifo[bestIdx+1:]...)
+	return r
+}
+
+func popHead(cs *classState) *request {
+	if cs == nil {
+		return nil
+	}
+	r := cs.fifo[0]
+	cs.fifo = cs.fifo[1:]
+	return r
+}
+
+// depths reports per-class queue lengths (metrics endpoint).
+func (s *scheduler) depths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.classes))
+	for _, cs := range s.classes {
+		out[cs.cfg.Name] = len(cs.fifo)
+	}
+	return out
+}
+
+// close rejects everything still queued and wakes the executors so they
+// exit. In-flight batches complete and deliver normally.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, cs := range s.classes {
+		for _, r := range cs.fifo {
+			if r.state.CompareAndSwap(reqPending, reqTimedOut) {
+				r.done <- answerResult{err: errClosed}
+			}
+		}
+		cs.fifo = nil
+	}
+	s.pending = 0
+	s.cond.Broadcast()
+}

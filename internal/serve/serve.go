@@ -1,0 +1,475 @@
+// Package serve is the production front door of a MultiRAG deployment: an
+// HTTP/JSON API over System.AskConcurrent / System.IngestFiles with
+// token-bucket admission control per SLO class, pluggable batch-formation
+// policies (FCFS, shortest-job-first by estimated query cost, priority),
+// bounded per-class request queues, and per-class latency / fairness
+// reporting on a metrics endpoint.
+//
+// Endpoints:
+//
+//	POST /v1/query        {"query": "...", "class": "interactive"}   → Answer
+//	POST /v1/query/batch  {"queries": [...], "class": "..."}         → {"answers": [...]}
+//	POST /v1/ingest       {"files": [{domain,source,name,format,content}, ...]}
+//	GET  /v1/stats        corpus statistics
+//	GET  /v1/metrics      per-class p50/p95/p99, Jain fairness, queue depths
+//	GET  /healthz
+//
+// Excess load is shed, never buffered without bound: a request that finds
+// its class token bucket empty or its bounded queue full is rejected with
+// 429, one that waits in queue past the configured timeout gets 503, and
+// ingest requests are additionally rejected with 429 while the group
+// committer's admission window (core.IngestPressure) is saturated — the
+// serving layer's backpressure is wired into the ingest pipeline's rather
+// than layered blindly on top of it.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"multirag"
+)
+
+// Class declares one SLO class of the front door. Requests select a class by
+// name; unnamed requests fall into the first configured class.
+type Class struct {
+	// Name identifies the class ("interactive", "batch", "ingest", ...).
+	Name string `json:"name"`
+	// Rate is the admission token-bucket refill rate in requests per second;
+	// <= 0 disables admission limiting for the class.
+	Rate float64 `json:"rate"`
+	// Burst is the token-bucket capacity (default max(1, Rate)).
+	Burst float64 `json:"burst"`
+	// Priority orders classes under PolicyPriority (higher serves first).
+	Priority int `json:"priority"`
+	// QueueCap bounds the class's pending-request queue; arrivals that find
+	// it full are rejected with 429 (default 256).
+	QueueCap int `json:"queue_cap"`
+}
+
+// DefaultClasses is the stock three-class SLO layout: latency-sensitive
+// interactive traffic over throughput-oriented batch traffic, plus the
+// ingest class gating /v1/ingest. All admission-unlimited; production
+// deployments set Rate/Burst per class.
+func DefaultClasses() []Class {
+	return []Class{
+		{Name: "interactive", Priority: 2},
+		{Name: "batch", Priority: 1},
+		{Name: IngestClass, Priority: 0},
+	}
+}
+
+// IngestClass names the class whose token bucket gates /v1/ingest.
+const IngestClass = "ingest"
+
+// Config assembles a Server.
+type Config struct {
+	// System is the deployment to serve. Required.
+	System *multirag.System
+	// Policy selects batch formation: PolicyFCFS (default), PolicySJF or
+	// PolicyPriority.
+	Policy string
+	// Classes declares the SLO classes (default DefaultClasses). The first
+	// entry is the default class; the entry named IngestClass (added
+	// automatically if absent) admission-controls /v1/ingest.
+	Classes []Class
+	// MaxBatch bounds one formed query batch (default 32).
+	MaxBatch int
+	// QueueTimeout bounds how long a query may wait for batch formation
+	// before failing with 503 (default 5s; < 0 disables).
+	QueueTimeout time.Duration
+	// Executors is the number of concurrent batch executors (default 2:
+	// one batch forming while another runs its AskConcurrent fan-out).
+	Executors int
+}
+
+// Server is a running front door. Create with New, mount Handler on an
+// http.Server, Close to reject queued work and stop the executors.
+type Server struct {
+	sys          *multirag.System
+	policy       string
+	sched        *scheduler
+	metrics      *metrics
+	byName       map[string]*classState
+	defaultClass *classState
+	ingestClass  *classState
+	queueTimeout time.Duration
+	// pressure reports the ingest pipeline's admission state; defaults to
+	// System.IngestPressure (overridable by tests to force saturation).
+	pressure func() (inflight, capacity int)
+	mux      *http.ServeMux
+}
+
+// New validates cfg, starts the batch executors and returns the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.System == nil {
+		return nil, fmt.Errorf("serve: Config.System is required")
+	}
+	switch cfg.Policy {
+	case "":
+		cfg.Policy = PolicyFCFS
+	case PolicyFCFS, PolicySJF, PolicyPriority:
+	default:
+		return nil, fmt.Errorf("serve: unknown policy %q (want %s, %s or %s)",
+			cfg.Policy, PolicyFCFS, PolicySJF, PolicyPriority)
+	}
+	classes := cfg.Classes
+	if len(classes) == 0 {
+		classes = DefaultClasses()
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.QueueTimeout == 0 {
+		cfg.QueueTimeout = 5 * time.Second
+	}
+	if cfg.Executors <= 0 {
+		cfg.Executors = 2
+	}
+
+	now := time.Now()
+	s := &Server{
+		sys:          cfg.System,
+		policy:       cfg.Policy,
+		byName:       map[string]*classState{},
+		queueTimeout: cfg.QueueTimeout,
+		pressure:     cfg.System.IngestPressure,
+	}
+	var states []*classState
+	for _, c := range classes {
+		if c.Name == "" {
+			return nil, fmt.Errorf("serve: class with empty name")
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate class %q", c.Name)
+		}
+		if c.QueueCap <= 0 {
+			c.QueueCap = 256
+		}
+		cs := &classState{cfg: c, bucket: newTokenBucket(c.Rate, c.Burst, now)}
+		s.byName[c.Name] = cs
+		states = append(states, cs)
+	}
+	s.defaultClass = states[0]
+	if s.ingestClass = s.byName[IngestClass]; s.ingestClass == nil {
+		cs := &classState{
+			cfg:    Class{Name: IngestClass, QueueCap: 256},
+			bucket: newTokenBucket(0, 0, now),
+		}
+		s.byName[IngestClass] = cs
+		states = append(states, cs)
+		s.ingestClass = cs
+	}
+
+	order := make([]string, len(states))
+	for i, cs := range states {
+		order[i] = cs.cfg.Name
+	}
+	s.metrics = newMetrics(order)
+	s.sched = newScheduler(cfg.Policy, states, cfg.MaxBatch)
+	for i := 0; i < cfg.Executors; i++ {
+		go s.executorLoop()
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/query/batch", s.handleBatch)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close rejects all queued requests and stops the executors. In-flight
+// batches complete and deliver their answers.
+func (s *Server) Close() { s.sched.close() }
+
+// Metrics returns the current metrics snapshot (the /v1/metrics payload).
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := s.metrics.snapshot(s.policy)
+	snap.QueueDepths = s.sched.depths()
+	snap.IngestInflight, snap.IngestCapacity = s.pressure()
+	return snap
+}
+
+// executorLoop drains batches off the scheduler and runs each through the
+// engine's batch entry point; every answer in the batch evaluates against
+// one published snapshot.
+func (s *Server) executorLoop() {
+	for {
+		batch, ok := s.sched.next()
+		if !ok {
+			return
+		}
+		queries := make([]string, len(batch))
+		for i, r := range batch {
+			queries[i] = r.query
+		}
+		answers := s.sys.AskConcurrent(queries)
+		now := time.Now()
+		for i, r := range batch {
+			s.metrics.record(r.class.cfg.Name, now.Sub(r.enq))
+			r.done <- answerResult{answer: answers[i]}
+		}
+	}
+}
+
+// Wire shapes.
+
+// QueryRequest is the /v1/query payload.
+type QueryRequest struct {
+	Query string `json:"query"`
+	Class string `json:"class,omitempty"`
+}
+
+// BatchRequest is the /v1/query/batch payload. Admission charges one token
+// per query.
+type BatchRequest struct {
+	Queries []string `json:"queries"`
+	Class   string   `json:"class,omitempty"`
+}
+
+// BatchResponse answers a BatchRequest in input order.
+type BatchResponse struct {
+	Answers []multirag.Answer `json:"answers"`
+}
+
+// IngestFile is one file of an /v1/ingest payload (multirag.File with string
+// content).
+type IngestFile struct {
+	Domain  string            `json:"domain"`
+	Source  string            `json:"source"`
+	Name    string            `json:"name"`
+	Format  string            `json:"format"`
+	Meta    map[string]string `json:"meta,omitempty"`
+	Content string            `json:"content"`
+}
+
+// IngestRequest is the /v1/ingest payload. Admission charges one ingest-class
+// token per file.
+type IngestRequest struct {
+	Files []IngestFile `json:"files"`
+}
+
+// IngestResponse acknowledges a committed ingest batch.
+type IngestResponse struct {
+	OK    bool `json:"ok"`
+	Files int  `json:"files"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.readPost(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "missing query")
+		return
+	}
+	cs, ok := s.resolveClass(w, req.Class)
+	if !ok {
+		return
+	}
+	if !cs.bucket.take(1, time.Now()) {
+		s.metrics.rejectAdmission(cs.cfg.Name)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("admission: class %q over rate", cs.cfg.Name))
+		return
+	}
+	rq := &request{query: req.Query, class: cs, cost: EstimateCost(req.Query), done: make(chan answerResult, 1)}
+	if err := s.sched.enqueue(rq); err != nil {
+		s.metrics.rejectQueue(cs.cfg.Name)
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	res, ok := s.await(rq)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("queue timeout: class %q waited over %v", cs.cfg.Name, s.queueTimeout))
+		return
+	}
+	if res.err != nil {
+		writeError(w, http.StatusServiceUnavailable, res.err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res.answer)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.readPost(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "missing queries")
+		return
+	}
+	cs, ok := s.resolveClass(w, req.Class)
+	if !ok {
+		return
+	}
+	if !cs.bucket.take(float64(len(req.Queries)), time.Now()) {
+		s.metrics.rejectAdmission(cs.cfg.Name)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("admission: class %q over rate", cs.cfg.Name))
+		return
+	}
+	rqs := make([]*request, len(req.Queries))
+	for i, q := range req.Queries {
+		rqs[i] = &request{query: q, class: cs, cost: EstimateCost(q), done: make(chan answerResult, 1)}
+	}
+	if err := s.sched.enqueueAll(rqs); err != nil {
+		s.metrics.rejectQueue(cs.cfg.Name)
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	resp := BatchResponse{Answers: make([]multirag.Answer, len(rqs))}
+	for i, rq := range rqs {
+		res, ok := s.await(rq)
+		if !ok {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("queue timeout: class %q waited over %v", cs.cfg.Name, s.queueTimeout))
+			return
+		}
+		if res.err != nil {
+			writeError(w, http.StatusServiceUnavailable, res.err.Error())
+			return
+		}
+		resp.Answers[i] = res.answer
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// await blocks for rq's answer, enforcing the queue timeout. The timeout
+// only claims requests still waiting for batch formation (pending→timedOut
+// CAS): once an executor has claimed a request, its answer is on the way and
+// await waits it out.
+func (s *Server) await(rq *request) (answerResult, bool) {
+	if s.queueTimeout < 0 {
+		return <-rq.done, true
+	}
+	timer := time.NewTimer(s.queueTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-rq.done:
+		return res, true
+	case <-timer.C:
+		if rq.state.CompareAndSwap(reqPending, reqTimedOut) {
+			s.metrics.timeout(rq.class.cfg.Name)
+			return answerResult{}, false
+		}
+		return <-rq.done, true
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if !s.readPost(w, r, &req) {
+		return
+	}
+	if len(req.Files) == 0 {
+		writeError(w, http.StatusBadRequest, "missing files")
+		return
+	}
+	cs := s.ingestClass
+	if !cs.bucket.take(float64(len(req.Files)), time.Now()) {
+		s.metrics.rejectAdmission(cs.cfg.Name)
+		writeError(w, http.StatusTooManyRequests, `admission: class "ingest" over rate`)
+		return
+	}
+	// Backpressure coupling: when the group committer's bounded admission
+	// window is full, IngestFiles would block this handler on the committer
+	// condvar — shed at the front door instead and let the client retry.
+	if inflight, capacity := s.pressure(); inflight >= capacity {
+		s.metrics.rejectQueue(cs.cfg.Name)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("ingest pipeline at capacity (%d/%d batches in flight)", inflight, capacity))
+		return
+	}
+	files := make([]multirag.File, len(req.Files))
+	for i, f := range req.Files {
+		files[i] = multirag.File{
+			Domain: f.Domain, Source: f.Source, Name: f.Name,
+			Format: f.Format, Meta: f.Meta, Content: []byte(f.Content),
+		}
+	}
+	start := time.Now()
+	if err := s.sys.IngestFiles(files...); err != nil {
+		s.metrics.fail(cs.cfg.Name)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.metrics.record(cs.cfg.Name, time.Since(start))
+	writeJSON(w, http.StatusOK, IngestResponse{OK: true, Files: len(files)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sys.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// resolveClass maps a request's class name onto its state, writing the 400
+// itself when the name is unknown.
+func (s *Server) resolveClass(w http.ResponseWriter, name string) (*classState, bool) {
+	if name == "" {
+		return s.defaultClass, true
+	}
+	cs := s.byName[name]
+	if cs == nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown class %q", name))
+		return nil, false
+	}
+	return cs, true
+}
+
+// readPost enforces POST + JSON body, writing the error response itself.
+func (s *Server) readPost(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}

@@ -221,6 +221,15 @@ func convertAnswer(a core.Answer) Answer {
 	return out
 }
 
+// IngestPressure reports the ingest pipeline's admission state: how many
+// IngestFiles calls are past admission (preparing, queued or committing) and
+// the bounded-pipeline capacity at which further callers block. A serving
+// front door polls it to reject ingest traffic early (backpressure) instead
+// of letting request handlers block inside the group committer.
+func (s *System) IngestPressure() (inflight, capacity int) {
+	return s.inner.IngestPressure()
+}
+
 // Retrieve returns the top-k supporting document identifiers for a query,
 // ranked by trusted-evidence provenance first and dense similarity second.
 func (s *System) Retrieve(query string, k int) []string {
