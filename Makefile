@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_SCALE ?= 0.12
 
-.PHONY: check vet build test race bench bench-retrieval bench-graph bench-query bench-ingest bench-serve clean
+.PHONY: check vet build test race bench bench-retrieval bench-ann bench-graph bench-query bench-ingest bench-serve clean
 
 # check is the CI entry point: static analysis, full build, race-enabled tests.
 check: vet build race
@@ -28,6 +28,13 @@ bench:
 # records the timing report.
 bench-retrieval:
 	$(GO) run ./cmd/benchtables -retrieval -scale $(BENCH_SCALE) -json BENCH_retrieval.json
+
+# bench-ann runs the exact retrieval microbenchmarks plus the ANN
+# recall-vs-speedup grid: every IVF configuration (nprobe sweep, int8 coarse
+# pass) A/B'd against the sharded exact scan on large corpora, with recall@10
+# and score MAE per cell, and records everything into BENCH_retrieval.json.
+bench-ann:
+	$(GO) run ./cmd/benchtables -retrieval -ann -scale $(BENCH_SCALE) -json BENCH_retrieval.json
 
 # bench-graph runs the graph-core microbenchmarks (seed deep-clone vs
 # copy-on-write columnar clone, nested-map vs sort-merge line-graph build)

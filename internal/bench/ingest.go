@@ -25,7 +25,7 @@ type IngestReport struct {
 // full stats walk per batch) against the pipelined group-committing ingest,
 // best of 3 passes each, with both final corpora equivalence-checked.
 type IngestCell struct {
-	N            int     `json:"n"`       // base corpus triples before the timed stream
+	N            int     `json:"n"` // base corpus triples before the timed stream
 	Producers    int     `json:"producers"`
 	Batches      int     `json:"batches"` // batches in the timed stream
 	SerialBPS    float64 `json:"serialized_batches_per_sec"`

@@ -52,6 +52,22 @@ type Config struct {
 	// on the chunk index. Like Shards it cannot change results, only the
 	// amount of work a query scan does; it exists for A/B benchmarking.
 	DisablePostings bool
+	// ANN swaps the exact chunk index for the approximate IVF tier with
+	// exact re-rank (internal/retrieval/ann.go). Unlike Shards and
+	// DisablePostings this is NOT a pure performance knob: retrieval can
+	// miss candidates outside the probed coarse-quantizer cells, trading a
+	// measured recall loss (see `make bench-ann`) for sub-linear scans at
+	// large corpus sizes. Off by default; when set, Shards and the postings
+	// pre-filter are ignored. The IVF structure is rebuilt lazily per
+	// snapshot generation, so ingest commits stay O(delta).
+	ANN bool
+	// NProbe is how many coarse-quantizer cells an ANN query probes (<=0
+	// selects retrieval.DefaultNProbe). More probes raise recall and cost.
+	NProbe int
+	// ANNQuantize runs the ANN coarse pass over an int8-quantized mirror of
+	// the vector arena; final scores stay exact float64 re-ranks. Ignored
+	// unless ANN is set.
+	ANNQuantize bool
 	// AnswerCacheSize bounds the per-snapshot answer cache (entries); 0
 	// disables it. The cache is invalidated whenever a snapshot is
 	// published, so cached answers never outlive the corpus state that
@@ -194,10 +210,13 @@ func NewSystem(cfg Config) *System {
 	s.snap.Store(&snapshot{
 		graph: kg.New(),
 		index: retrieval.New(retrieval.Options{
-			Dim:      retrieval.DefaultDim,
-			Shards:   cfg.Shards,
-			Postings: !cfg.DisablePostings,
-			Workers:  cfg.Workers,
+			Dim:         retrieval.DefaultDim,
+			Shards:      cfg.Shards,
+			Postings:    !cfg.DisablePostings,
+			Workers:     cfg.Workers,
+			ANN:         cfg.ANN,
+			NProbe:      cfg.NProbe,
+			ANNQuantize: cfg.ANNQuantize,
 		}),
 	})
 	return s
@@ -293,4 +312,3 @@ func (s *System) RebuildSG() {
 	})
 	s.buildReal += time.Since(start)
 }
-

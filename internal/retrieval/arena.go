@@ -1,0 +1,56 @@
+package retrieval
+
+import "fmt"
+
+// arena is the flat vector store backing Index: every embedding lives back to
+// back in one contiguous []float32 with stride = dim, so a scan walks memory
+// linearly instead of chasing one pointer per chunk (the seed slice-of-slices
+// layout). The width is fixed at construction; appends of any other width are
+// rejected up front (see appendVec), which is what lets every reader index
+// the arena by ordinal arithmetic alone.
+//
+// Copy-on-write works exactly like the chunk slice in Index.CloneForAppend:
+// cloneForAppend clips the backing slice's capacity, so the first append on a
+// clone reallocates into private memory while published snapshots keep
+// serving the shared prefix.
+type arena struct {
+	dim  int
+	data []float32
+}
+
+func newArena(dim int) *arena { return &arena{dim: dim} }
+
+// len returns the number of stored vectors.
+func (a *arena) len() int { return len(a.data) / a.dim }
+
+// at returns the i-th stored vector as a view into the arena. Callers must
+// treat it as read-only: the backing memory is shared across snapshots.
+func (a *arena) at(i int) Vector { return a.data[i*a.dim : (i+1)*a.dim] }
+
+// appendVec copies v into the arena. The width is fixed at first use of the
+// index, so a mismatched vector is a programmer error: it is rejected before
+// any mutation rather than silently mis-striding every later read.
+func (a *arena) appendVec(v Vector) {
+	if len(v) != a.dim {
+		panic(fmt.Sprintf("retrieval: vector dim %d does not match index dim %d", len(v), a.dim))
+	}
+	a.data = append(a.data, v...)
+}
+
+// grow reserves room for n more vectors, so a batch append reallocates the
+// backing array at most once (the Store.AddEmbeddedBatch contract).
+func (a *arena) grow(n int) {
+	need := len(a.data) + n*a.dim
+	if need <= cap(a.data) {
+		return
+	}
+	grown := make([]float32, len(a.data), need)
+	copy(grown, a.data)
+	a.data = grown
+}
+
+// cloneForAppend returns the O(1) copy-on-write clone: shared backing array,
+// clipped capacity.
+func (a *arena) cloneForAppend() *arena {
+	return &arena{dim: a.dim, data: a.data[:len(a.data):len(a.data)]}
+}

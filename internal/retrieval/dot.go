@@ -1,0 +1,86 @@
+package retrieval
+
+// dot32 is the 4-way unrolled float32 dot-product kernel for the ANN coarse
+// pass (centroid scoring, k-means training and assignment). Four independent
+// accumulators break the loop-carried dependency chain so the scalar FPU can
+// pipeline the multiplies; the slice re-slice lets the compiler hoist the
+// bounds checks. It deliberately does NOT replace Cosine: exact-path scores
+// stay float64 bit-for-bit (see dot_test.go), and dot32's float32
+// accumulation order is part of the coarse pass's accepted approximation.
+func dot32(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	a, b = a[:n], b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// dot8 is the int8 counterpart for the quantized coarse pass: 4-way unrolled
+// int32 accumulation over two equally long int8 rows. Integer accumulation is
+// exact, so the only quantization error is in the per-vector scales applied
+// by the caller.
+func dot8(a, b []int8) int32 {
+	var s0, s1, s2, s3 int32
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	a, b = a[:n], b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += int32(a[i]) * int32(b[i])
+		s1 += int32(a[i+1]) * int32(b[i+1])
+		s2 += int32(a[i+2]) * int32(b[i+2])
+		s3 += int32(a[i+3]) * int32(b[i+3])
+	}
+	for ; i < n; i++ {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// quantize8 maps v onto int8 with a single per-vector scale (symmetric
+// round-to-nearest): q[i] = round(v[i] / scale), scale = maxabs / 127. The
+// caller reconstructs approximate dot products as dot8(qa, qb) * scaleA *
+// scaleB. A zero vector quantizes to scale 0, which dequantizes every
+// product with it to 0 — exactly its true dot product.
+func quantize8(v Vector, out []int8) (scale float32) {
+	var maxabs float32
+	for _, x := range v {
+		if x < 0 {
+			x = -x
+		}
+		if x > maxabs {
+			maxabs = x
+		}
+	}
+	if maxabs == 0 {
+		for i := range v {
+			out[i] = 0
+		}
+		return 0
+	}
+	scale = maxabs / 127
+	inv := 127 / maxabs
+	for i, x := range v {
+		q := x * inv
+		if q >= 0 {
+			out[i] = int8(q + 0.5)
+		} else {
+			out[i] = int8(q - 0.5)
+		}
+	}
+	return scale
+}

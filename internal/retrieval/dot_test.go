@@ -1,0 +1,116 @@
+package retrieval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// cosineSeed is a copy of the exact-path scorer as it stood before the
+// unrolled kernels landed: per-element float64 widening, single accumulator,
+// ascending order. TestCosineBitIdenticalToSeed pins Cosine against it so
+// the ANN coarse-pass kernel can never leak into exact-path scores.
+func cosineSeed(a, b Vector) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var dot float64
+	for i := 0; i < n; i++ {
+		dot += float64(a[i]) * float64(b[i])
+	}
+	return dot
+}
+
+// TestCosineBitIdenticalToSeed is the exact-path property: for arbitrary
+// text pairs (and the embedding widths the system uses), Cosine returns the
+// bit-identical float64 the seed implementation returned.
+func TestCosineBitIdenticalToSeed(t *testing.T) {
+	f := func(a, b string) bool {
+		for _, dim := range []int{32, 64, DefaultDim} {
+			va, vb := Embed(a, dim), Embed(b, dim)
+			if Cosine(va, vb) != cosineSeed(va, vb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDot32MatchesReference checks the unrolled float32 kernel against a
+// naive float32 loop (identical pairwise products, so the only freedom is
+// accumulation order — the 4-lane split must stay within float32 rounding of
+// the naive sum) across lengths that exercise every tail case.
+func TestDot32MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 63, 64, 255, 256} {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+		}
+		var naive float64
+		for i := range a {
+			naive += float64(a[i]) * float64(b[i])
+		}
+		got := float64(dot32(a, b))
+		if math.Abs(got-naive) > 1e-3*float64(n+1) {
+			t.Fatalf("n=%d: dot32 = %v, naive = %v", n, got, naive)
+		}
+	}
+}
+
+// TestDot8Exact: integer accumulation has no rounding, so the int8 kernel
+// must match the naive int32 sum exactly for every tail length.
+func TestDot8Exact(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 33, 256} {
+		a := make([]int8, n)
+		b := make([]int8, n)
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+			b[i] = int8(rng.Intn(255) - 127)
+		}
+		var naive int32
+		for i := range a {
+			naive += int32(a[i]) * int32(b[i])
+		}
+		if got := dot8(a, b); got != naive {
+			t.Fatalf("n=%d: dot8 = %d, naive = %d", n, got, naive)
+		}
+	}
+}
+
+// TestQuantize8RoundTrip: per-vector scale quantization must reconstruct
+// dot products within the |v|·maxerr bound that a 1/254 step size implies,
+// and a zero vector must quantize losslessly to zero.
+func TestQuantize8RoundTrip(t *testing.T) {
+	const dim = 64
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 50; round++ {
+		v := Embed(randText(rng), dim)
+		q := make([]int8, dim)
+		scale := quantize8(v, q)
+		for i := range v {
+			back := float32(q[i]) * scale
+			if diff := math.Abs(float64(back - v[i])); diff > float64(scale)/2+1e-7 {
+				t.Fatalf("round %d dim %d: |%v - %v| = %v > scale/2 = %v",
+					round, i, back, v[i], diff, scale/2)
+			}
+		}
+	}
+	q := make([]int8, dim)
+	if scale := quantize8(make(Vector, dim), q); scale != 0 {
+		t.Fatalf("zero vector scale = %v, want 0", scale)
+	}
+	for i := range q {
+		if q[i] != 0 {
+			t.Fatal("zero vector must quantize to all zeros")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package retrieval
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildPostingsIndex indexes the given texts into a flat index with the
+// postings pre-filter enabled, returning the parallel chunk/vector arrays the
+// reference scan needs.
+func buildPostingsIndex(dim int, texts []string) (*Index, []Chunk, []Vector) {
+	ix := New(Options{Dim: dim, Postings: true}).(*Index)
+	chunks := make([]Chunk, len(texts))
+	vecs := make([]Vector, len(texts))
+	for i, text := range texts {
+		chunks[i] = Chunk{ID: fmt.Sprintf("p%03d#c0", i), DocID: fmt.Sprintf("p%03d", i),
+			Source: "s", Text: text}
+		vecs[i] = Embed(text, dim)
+		ix.AddEmbedded(chunks[i], vecs[i])
+	}
+	return ix, chunks, vecs
+}
+
+// TestPostingsProvablyExactAccept forces the pruned path's accept decision:
+// the corpus shares the query's vocabulary densely, so the candidate set is
+// far larger than k and every kept hit scores strictly above zero — the
+// selector can prove the pruned result equals the full scan, and searchPruned
+// must take it AND return hits identical to the reference scan.
+func TestPostingsProvablyExactAccept(t *testing.T) {
+	const dim = 64
+	texts := make([]string, 40)
+	for i := range texts {
+		// Every chunk mentions "status delayed", so every chunk is a
+		// candidate with a strictly positive score against the query.
+		texts[i] = fmt.Sprintf("status delayed flight f%03d", i)
+	}
+	ix, chunks, vecs := buildPostingsIndex(dim, texts)
+	qv := Embed("status delayed", dim)
+	const k = 5
+
+	hits, ok := ix.searchPruned(qv, k, nil)
+	if !ok {
+		t.Fatal("pruned path must accept: candidates >> k and all scores positive")
+	}
+	if want := refSearch(chunks, vecs, qv, k, nil); !hitsEqual(hits, want) {
+		t.Fatalf("accepted pruned result diverges from reference:\n got  %s\n want %s",
+			fmtHits(hits), fmtHits(want))
+	}
+	// The public entry point must serve the same hits.
+	if got := ix.SearchVector(qv, k, nil); !hitsEqual(got, refSearch(chunks, vecs, qv, k, nil)) {
+		t.Fatal("SearchVector diverges from reference on the accept path")
+	}
+}
+
+// TestPostingsFlatScanFallback forces the reject decision: the query's
+// vocabulary reaches only two chunks while k wants four, so the pruned scan
+// cannot prove itself (fewer candidates than k) and must decline — and the
+// public search must then fall back to the exact flat scan, returning hits
+// identical to the reference including zero-score non-candidates in ID order.
+func TestPostingsFlatScanFallback(t *testing.T) {
+	const dim = 64
+	texts := []string{
+		"zebra quilt",
+		"velvet prism",
+		"status delayed",
+		"status boarding",
+		"marble lantern",
+	}
+	ix, chunks, vecs := buildPostingsIndex(dim, texts)
+	qv := Embed("status", dim)
+	const k = 4
+
+	if _, ok := ix.searchPruned(qv, k, nil); ok {
+		t.Fatal("pruned path must decline: fewer candidates than k")
+	}
+	got := ix.SearchVector(qv, k, nil)
+	want := refSearch(chunks, vecs, qv, k, nil)
+	if !hitsEqual(got, want) {
+		t.Fatalf("fallback diverges from reference:\n got  %s\n want %s",
+			fmtHits(got), fmtHits(want))
+	}
+	if len(got) != k {
+		t.Fatalf("fallback must fill k=%d from non-candidates, got %d", k, len(got))
+	}
+}

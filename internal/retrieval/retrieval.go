@@ -9,6 +9,7 @@
 package retrieval
 
 import (
+	"fmt"
 	"math"
 	"strconv"
 	"strings"
@@ -149,11 +150,14 @@ type Hit struct {
 
 // Index is the flat exact cosine top-k index over chunks: one contiguous
 // scan, optionally pruned by an inverted-postings pre-filter. It is both the
-// single-shard Store and the building block of the Sharded index.
+// single-shard Store and the building block of the Sharded and ANN indexes.
+// Vectors live in a flat arena (one contiguous []float32, stride = dim), so
+// a scan walks memory linearly and the embedding width is fixed at
+// construction — dim-mismatched appends are rejected up front.
 type Index struct {
 	dim    int
 	chunks []Chunk
-	vecs   []Vector
+	arena  *arena
 	// post, when non-nil, prunes scans to lexically plausible candidates
 	// with an exact-scan fallback (see postings.go).
 	post *postings
@@ -166,7 +170,7 @@ func NewIndex(dim int) *Index {
 	if dim <= 0 {
 		dim = DefaultDim
 	}
-	return &Index{dim: dim}
+	return &Index{dim: dim, arena: newArena(dim)}
 }
 
 // Add inserts a chunk, embedding it inline.
@@ -177,26 +181,45 @@ func (ix *Index) Add(c Chunk) {
 // AddEmbedded inserts a chunk with a precomputed embedding. The concurrent
 // ingestion engine embeds chunks on worker goroutines and batch-appends them
 // here under the write lock, keeping the expensive hashing off the serial
-// commit path.
+// commit path. The vector's width must match the index's (the arena fixes
+// the stride at construction); a mismatch panics before any mutation.
 func (ix *Index) AddEmbedded(c Chunk, v Vector) {
+	if len(v) != ix.dim {
+		panic(fmt.Sprintf("retrieval: AddEmbedded vector dim %d does not match index dim %d (chunk %s)",
+			len(v), ix.dim, c.ID))
+	}
 	if ix.post != nil {
 		ix.post.add(len(ix.chunks), v)
 	}
 	ix.chunks = append(ix.chunks, c)
-	ix.vecs = append(ix.vecs, v)
+	ix.arena.appendVec(v)
 }
 
 // AddEmbeddedBatch appends a parallel run of chunks and embeddings in one
 // grow of each backing array — the multi-batch append path the group
-// committer uses under its critical section.
+// committer uses under its critical section. The batch is validated up front
+// (vs parallel to cs, every vector at the index width), so a malformed batch
+// panics with the store untouched instead of mis-indexing or dying mid-grow.
 func (ix *Index) AddEmbeddedBatch(cs []Chunk, vs []Vector) {
+	if len(cs) != len(vs) {
+		panic(fmt.Sprintf("retrieval: AddEmbeddedBatch got %d chunks but %d vectors", len(cs), len(vs)))
+	}
+	for i := range vs {
+		if len(vs[i]) != ix.dim {
+			panic(fmt.Sprintf("retrieval: AddEmbeddedBatch vector %d dim %d does not match index dim %d (chunk %s)",
+				i, len(vs[i]), ix.dim, cs[i].ID))
+		}
+	}
 	if ix.post != nil {
 		for i := range cs {
 			ix.post.add(len(ix.chunks)+i, vs[i])
 		}
 	}
 	ix.chunks = append(ix.chunks, cs...)
-	ix.vecs = append(ix.vecs, vs...)
+	ix.arena.grow(len(vs))
+	for i := range vs {
+		ix.arena.appendVec(vs[i])
+	}
 }
 
 // CloneForAppend returns an index that shares the receiver's backing arrays
@@ -208,7 +231,7 @@ func (ix *Index) CloneForAppend() Store {
 	clone := &Index{
 		dim:    ix.dim,
 		chunks: ix.chunks[:len(ix.chunks):len(ix.chunks)],
-		vecs:   ix.vecs[:len(ix.vecs):len(ix.vecs)],
+		arena:  ix.arena.cloneForAppend(),
 	}
 	if ix.post != nil {
 		clone.post = ix.post.cloneForAppend()
@@ -260,7 +283,7 @@ func (ix *Index) scanAll(qv Vector, k int, keep func(string) bool) []Hit {
 		if keep != nil && !keep(ix.chunks[i].Source) {
 			continue
 		}
-		t.consider(ix.chunks[i], Cosine(qv, ix.vecs[i]))
+		t.consider(ix.chunks[i], Cosine(qv, ix.arena.at(i)))
 	}
 	return t.sorted()
 }
@@ -280,7 +303,7 @@ func (ix *Index) searchPruned(qv Vector, k int, keep func(string) bool) ([]Hit, 
 		if keep != nil && !keep(ix.chunks[ord].Source) {
 			continue
 		}
-		t.consider(ix.chunks[ord], Cosine(qv, ix.vecs[ord]))
+		t.consider(ix.chunks[ord], Cosine(qv, ix.arena.at(int(ord))))
 	}
 	if t.len() == k && t.worst().Score > 0 {
 		return t.sorted(), true

@@ -1,15 +1,19 @@
 package retrieval
 
-// Searcher is the read-side retrieval contract: exact cosine top-k over an
-// immutable view of the indexed chunks. Both the flat Index and the Sharded
-// index implement it, so the serving engine, baselines and benchmarks can
-// swap scan strategies without touching call sites.
+// Searcher is the read-side retrieval contract: cosine top-k over an
+// immutable view of the indexed chunks. The flat Index, the Sharded index
+// and the approximate ANN tier all implement it, so the serving engine,
+// baselines and benchmarks can swap scan strategies without touching call
+// sites.
 //
-// All implementations return identical results for identical corpora — score
-// for score, hit for hit, in (score desc, chunk ID asc) order — which is what
-// lets the engine treat the shard count and the postings pre-filter as pure
-// performance knobs. The property tests in sharded_test.go pin that contract
-// against a reference full-sort scan.
+// Every exact implementation returns identical results for identical corpora
+// — score for score, hit for hit, in (score desc, chunk ID asc) order —
+// which is what lets the engine treat the shard count and the postings
+// pre-filter as pure performance knobs. The property tests in sharded_test.go
+// pin that contract against a reference full-sort scan. The ANN tier is the
+// one deliberate exception: its per-hit scores are still exact (float64
+// re-rank), but hits outside the probed cells can be missed, a loss the
+// recall harness in internal/bench measures instead of pinning away.
 type Searcher interface {
 	// Len returns the number of indexed chunks.
 	Len() int
@@ -60,11 +64,28 @@ type Options struct {
 	// Workers bounds the per-query shard-scan fan-out (<=0 selects
 	// GOMAXPROCS). Ignored by the flat index.
 	Workers int
+	// ANN selects the approximate IVF tier with exact re-rank (see ann.go).
+	// Unlike every other knob it is NOT exact: results can miss candidates
+	// outside the probed cells, so it is off by default and A/B'd against
+	// the exact scan by the recall harness instead of equivalence-pinned.
+	// When set, Shards and Postings are ignored.
+	ANN bool
+	// NProbe is how many coarse-quantizer cells an ANN query probes (<=0
+	// selects DefaultNProbe). More probes = higher recall, slower queries.
+	NProbe int
+	// ANNQuantize runs the ANN coarse pass over an int8-quantized mirror of
+	// the vector arena (per-vector scale); final scores are still exact
+	// float64 re-ranks. Ignored unless ANN is set.
+	ANNQuantize bool
 }
 
-// New assembles a Store from opts: a flat Index for Shards <= 1, a Sharded
-// index otherwise, each with or without the postings pre-filter.
+// New assembles a Store from opts: the approximate ANN tier when opts.ANN is
+// set, a flat Index for Shards <= 1, a Sharded index otherwise, each exact
+// variant with or without the postings pre-filter.
 func New(opts Options) Store {
+	if opts.ANN {
+		return NewANN(opts)
+	}
 	if opts.Shards > 1 {
 		return NewSharded(opts)
 	}

@@ -1,6 +1,8 @@
 package retrieval
 
 import (
+	"fmt"
+
 	"multirag/internal/par"
 	"multirag/internal/textutil"
 )
@@ -61,8 +63,19 @@ func (s *Sharded) AddEmbedded(c Chunk, v Vector) {
 // AddEmbeddedBatch routes a parallel run of pre-embedded chunks to their home
 // shards: one routing hash per chunk, then one batched append per shard that
 // received anything, so every shard's backing arrays grow at most once per
-// batch (the contract the Store interface states).
+// batch (the contract the Store interface states). The batch is validated
+// before any shard is touched, so a malformed batch can never leave some
+// shards mutated and others not.
 func (s *Sharded) AddEmbeddedBatch(cs []Chunk, vs []Vector) {
+	if len(cs) != len(vs) {
+		panic(fmt.Sprintf("retrieval: AddEmbeddedBatch got %d chunks but %d vectors", len(cs), len(vs)))
+	}
+	for i := range vs {
+		if len(vs[i]) != s.dim {
+			panic(fmt.Sprintf("retrieval: AddEmbeddedBatch vector %d dim %d does not match index dim %d (chunk %s)",
+				i, len(vs[i]), s.dim, cs[i].ID))
+		}
+	}
 	if len(cs) == 1 {
 		s.AddEmbedded(cs[0], vs[0])
 		return

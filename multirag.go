@@ -57,6 +57,20 @@ type Config struct {
 	// DisablePostings turns off the lexical candidate pre-filter on the
 	// retrieval index. Also a pure performance knob, kept for A/B runs.
 	DisablePostings bool
+	// ANN swaps the exact retrieval index for the approximate IVF tier with
+	// exact re-rank. NOT a pure performance knob: chunk retrieval can miss
+	// candidates outside the probed coarse-quantizer cells (recall measured
+	// by `make bench-ann`), in exchange for sub-linear scans at large corpus
+	// sizes. Off by default; when set, Shards and the postings pre-filter
+	// are ignored. Per-hit scores stay exact.
+	ANN bool
+	// NProbe is how many coarse-quantizer cells an ANN query probes (0 = a
+	// sensible default). More probes raise recall and per-query cost.
+	NProbe int
+	// ANNInt8 runs the ANN coarse pass over an int8-quantized copy of the
+	// vectors (4x smaller scan footprint); final scores are still exact.
+	// Ignored unless ANN is set.
+	ANNInt8 bool
 	// AnswerCache bounds the per-corpus-version answer cache (entries);
 	// 0 disables it. The cache is flushed automatically whenever IngestFiles
 	// commits, so cached answers never reflect a stale corpus. Cache hits
@@ -144,6 +158,9 @@ func Open(cfg Config) *System {
 		Workers:         cfg.Workers,
 		Shards:          cfg.Shards,
 		DisablePostings: cfg.DisablePostings,
+		ANN:             cfg.ANN,
+		NProbe:          cfg.NProbe,
+		ANNQuantize:     cfg.ANNInt8,
 		AnswerCacheSize: cfg.AnswerCache,
 		SerializeIngest: cfg.SerializeIngest,
 		Ablation: confidence.Options{
