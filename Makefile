@@ -1,10 +1,11 @@
 GO ?= go
 BENCH_SCALE ?= 0.12
 
-.PHONY: check vet build test race bench bench-retrieval bench-ann bench-graph bench-query bench-ingest bench-serve clean
+.PHONY: check vet build test race fuzz-smoke bench bench-retrieval bench-ann bench-graph bench-query bench-ingest bench-serve bench-wal clean
 
-# check is the CI entry point: static analysis, full build, race-enabled tests.
-check: vet build race
+# check is the CI entry point: static analysis, full build, race-enabled
+# tests, and a short fuzz pass over the crash-surface decoders.
+check: vet build race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +18,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# fuzz-smoke runs each committed fuzz target briefly on top of its seed
+# corpus (testdata/fuzz): the WAL frame parser and field decoder — the code
+# recovery walks over whatever a crash left on disk — and the JSON-LD
+# parser every adapter output passes through.
+fuzz-smoke:
+	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzFrameParse -fuzztime 5s
+	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzDecoder -fuzztime 5s
+	$(GO) test ./internal/jsonld -run '^$$' -fuzz FuzzDocumentUnmarshal -fuzztime 5s
 
 # bench regenerates the paper tables/figures at a reduced scale and records
 # per-job wall-clock timings for the perf trajectory.
@@ -63,5 +73,14 @@ bench-ingest:
 bench-serve:
 	$(GO) run ./cmd/benchtables -serve -scale $(BENCH_SCALE) -json BENCH_serve.json
 
+# bench-wal runs the WAL durability benchmarks: ingest throughput with the
+# write-ahead log + fsync on vs off (the durability tax must stay >= 0.6x
+# in-memory at 4 producers), crash-recovery replay time vs log length
+# (including a 10k-record log, which must replay in under 5s), and
+# checkpoint size/write time. Recovery and checkpoint cells run at full
+# scale regardless of BENCH_SCALE — the 10k-record bar is the point.
+bench-wal:
+	$(GO) run ./cmd/benchtables -wal -scale $(BENCH_SCALE) -json BENCH_wal.json
+
 clean:
-	rm -f BENCH_core.json BENCH_retrieval.json BENCH_graph.json BENCH_query.json BENCH_ingest.json BENCH_serve.json
+	rm -f BENCH_core.json BENCH_retrieval.json BENCH_graph.json BENCH_query.json BENCH_ingest.json BENCH_serve.json BENCH_wal.json

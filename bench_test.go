@@ -103,7 +103,7 @@ func benchCorpus(b *testing.B) *datasets.Dataset {
 	spec := datasets.Movies(5)
 	spec.Entities = 40
 	spec.Queries = 20
-	return datasets.Generate(spec)
+	return datasets.MustGenerate(spec)
 }
 
 func newBenchSystem(b *testing.B, cfg core.Config, files []adapter.RawFile) *core.System {

@@ -12,6 +12,7 @@
 //	benchtables -query          # query-executor microbenchmarks only
 //	benchtables -ingest         # ingest-throughput microbenchmarks only
 //	benchtables -serve          # HTTP serving-layer benchmarks only
+//	benchtables -wal            # WAL durability benchmarks (throughput tax, recovery, checkpoint)
 //	benchtables -scale 0.2      # quick run at 20% workload
 //	benchtables -seed 7         # different generation seed
 //	benchtables -json BENCH_core.json   # also write per-job wall times as JSON
@@ -36,6 +37,7 @@ func main() {
 	query := flag.Bool("query", false, "run only the query-executor microbenchmarks")
 	ingest := flag.Bool("ingest", false, "run only the ingest-throughput microbenchmarks")
 	srv := flag.Bool("serve", false, "run only the HTTP serving-layer benchmarks")
+	walFlag := flag.Bool("wal", false, "run only the WAL durability benchmarks (throughput tax, recovery time, checkpoint size)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (entities and queries)")
 	seed := flag.Uint64("seed", 1, "dataset / model seed")
 	jsonOut := flag.String("json", "", "write per-job wall-clock timings to this JSON file")
@@ -54,6 +56,7 @@ func main() {
 	var serveDetail *bench.ServeReport
 	var retrievalDetail *bench.RetrievalReport
 	var annDetail *bench.ANNReport
+	var walDetail *bench.WALReport
 	add := func(name string, run func(bench.Options) error) {
 		jobs = append(jobs, job{name, run})
 	}
@@ -117,6 +120,16 @@ func main() {
 			serveDetail = rep
 			return err
 		})
+	case *walFlag:
+		if *table > 0 || *figure > 0 {
+			fmt.Fprintln(os.Stderr, "benchtables: -wal cannot be combined with -table/-figure")
+			os.Exit(2)
+		}
+		add("WAL", func(o bench.Options) error {
+			rep, err := bench.WALBenchReport(o)
+			walDetail = rep
+			return err
+		})
 	case *table > 0:
 		switch *table {
 		case 1:
@@ -170,6 +183,7 @@ func main() {
 		Serve     *bench.ServeReport     `json:"serve,omitempty"`
 		Retrieval *bench.RetrievalReport `json:"retrieval,omitempty"`
 		ANN       *bench.ANNReport       `json:"ann,omitempty"`
+		WAL       *bench.WALReport       `json:"wal,omitempty"`
 	}{Seed: *seed, Scale: *scale}
 	for _, j := range jobs {
 		start := time.Now()
@@ -188,6 +202,7 @@ func main() {
 	report.Serve = serveDetail
 	report.Retrieval = retrievalDetail
 	report.ANN = annDetail
+	report.WAL = walDetail
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,20 +63,27 @@ func loadClient(conns int) *http.Client {
 	}}
 }
 
-// postStatus POSTs one JSON body and returns the HTTP status, draining the
+// postStatus POSTs one JSON body and returns the HTTP status plus the
+// server's Retry-After hint in seconds (0 when absent), draining the
 // response so the connection is reusable.
-func postStatus(client *http.Client, url string, body any) (int, error) {
+func postStatus(client *http.Client, url string, body any) (int, time.Duration, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	_ = resp.Body.Close()
-	return resp.StatusCode, nil
+	var retryAfter time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
 }
 
 // fetchMetrics reads the server's /v1/metrics snapshot.
@@ -148,7 +157,7 @@ func runLoad(sys *multirag.System, queries []string, qps float64, workers int, t
 	if qps <= 0 {
 		par.ForEach(workers, n, func(i int) {
 			t0 := time.Now()
-			status, err := postStatus(client, url, serve.QueryRequest{Query: queries[i], Class: class})
+			status, _, err := postStatus(client, url, serve.QueryRequest{Query: queries[i], Class: class})
 			lat[i] = time.Since(t0)
 			outcomes[i] = classify(status, err)
 		})
@@ -162,7 +171,7 @@ func runLoad(sys *multirag.System, queries []string, qps float64, workers int, t
 				if d := time.Until(sched); d > 0 {
 					time.Sleep(d)
 				}
-				status, err := postStatus(client, url, serve.QueryRequest{Query: queries[i], Class: class})
+				status, _, err := postStatus(client, url, serve.QueryRequest{Query: queries[i], Class: class})
 				// Latency from the scheduled instant: queueing delay the
 				// system caused — including launch lateness — counts.
 				lat[i] = time.Since(sched)
@@ -206,12 +215,67 @@ func runLoad(sys *multirag.System, queries []string, qps float64, workers int, t
 	printServerView(client, base)
 }
 
+// Retry policy for shed ingest requests: exponential backoff from
+// ingestRetryBase doubling per attempt, equal-jittered, never under the
+// server's Retry-After hint and never over ingestRetryCap. A file still shed
+// after maxIngestRetries retries is a hard failure, counted separately.
+const (
+	ingestRetryBase  = 2 * time.Millisecond
+	ingestRetryCap   = time.Second
+	maxIngestRetries = 20
+)
+
+// ingestRetryDelay computes the wait before retry `attempt` (0-based).
+func ingestRetryDelay(attempt int, retryAfter time.Duration) time.Duration {
+	d := ingestRetryBase << min(attempt, 16)
+	if d <= 0 || d > ingestRetryCap {
+		d = ingestRetryCap
+	}
+	d = d/2 + rand.N(d/2+1) // equal jitter: [d/2, d]
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return min(d, ingestRetryCap)
+}
+
+// postIngest posts one file, retrying 429 (committer backpressure) and 503
+// (draining / queue timeout) sheds with capped exponential backoff + jitter,
+// honoring the server's Retry-After hint. Returns ok=false with a nil error
+// when the retry budget is exhausted — a hard failure the caller counts —
+// and a non-nil error only for transport failures and unexpected statuses,
+// which abort the whole run.
+func postIngest(client *http.Client, url string, req serve.IngestRequest, stop *atomic.Bool, r429, r503 *atomic.Int64) (bool, error) {
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, err := postStatus(client, url, req)
+		switch {
+		case err != nil:
+			return false, err
+		case status == http.StatusOK:
+			return true, nil
+		case status == http.StatusTooManyRequests:
+			r429.Add(1)
+		case status == http.StatusServiceUnavailable:
+			r503.Add(1)
+		default:
+			return false, fmt.Errorf("HTTP %d", status)
+		}
+		if attempt >= maxIngestRetries || stop.Load() {
+			return false, nil
+		}
+		time.Sleep(ingestRetryDelay(attempt, retryAfter))
+	}
+}
+
 // runIngestLoad drives n synthetic files through the HTTP ingest endpoint
 // from a shared stream drained by `producers` goroutines — the ingest mirror
-// of the query -load mode. Each request's latency spans admission, any
-// committer backpressure retries and the group-commit publish. A failing
-// producer does not abort the process mid-test: the first error is recorded,
-// every producer drains, and the error is reported from the main goroutine.
+// of the query -load mode. Shed requests (429/503) are retried with capped
+// exponential backoff honoring Retry-After, so a rejection delays the file
+// instead of silently shrinking the offered load; each request's latency
+// spans admission, every backoff wait and the group-commit publish. Retry
+// counts are reported separately from hard failures (files still shed after
+// the retry budget). A failing producer does not abort the process mid-test:
+// the first transport error is recorded, every producer drains, and the
+// error is reported from the main goroutine.
 func runIngestLoad(sys *multirag.System, n, producers int, target string) {
 	if producers <= 0 {
 		producers = runtime.GOMAXPROCS(0)
@@ -227,11 +291,13 @@ func runIngestLoad(sys *multirag.System, n, producers int, target string) {
 
 	lat := make([]time.Duration, n)
 	var (
-		next     atomic.Int64
-		stop     atomic.Bool
-		retries  atomic.Int64
-		errOnce  sync.Once
-		firstErr error
+		next       atomic.Int64
+		stop       atomic.Bool
+		retries429 atomic.Int64
+		retries503 atomic.Int64
+		hardFails  atomic.Int64
+		errOnce    sync.Once
+		firstErr   error
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -244,31 +310,21 @@ func runIngestLoad(sys *multirag.System, n, producers int, target string) {
 				if i >= n {
 					return
 				}
-				req := ingestRequest(i)
 				t0 := time.Now()
-				for {
-					status, err := postStatus(client, url, req)
-					if err == nil && status == http.StatusOK {
-						break
-					}
-					if err == nil && status == http.StatusTooManyRequests {
-						// Committer backpressure: back off briefly and retry
-						// the same file, like any well-behaved ingest client.
-						retries.Add(1)
-						time.Sleep(time.Millisecond)
-						if stop.Load() {
-							return
-						}
-						continue
-					}
-					if err == nil {
-						err = fmt.Errorf("ingest file %d: HTTP %d", i, status)
-					}
+				ok, err := postIngest(client, url, ingestRequest(i), &stop, &retries429, &retries503)
+				if err != nil {
 					errOnce.Do(func() {
-						firstErr = err
+						firstErr = fmt.Errorf("ingest file %d: %w", i, err)
 						stop.Store(true)
 					})
 					return
+				}
+				if stop.Load() {
+					return
+				}
+				if !ok {
+					hardFails.Add(1)
+					continue
 				}
 				lat[i] = time.Since(t0)
 			}
@@ -287,13 +343,25 @@ func runIngestLoad(sys *multirag.System, n, producers int, target string) {
 			st = remote
 		}
 	}
+	// Quantiles over committed files only; hard-failed files have no commit.
+	okLat := make([]time.Duration, 0, n)
+	for _, d := range lat {
+		if d > 0 {
+			okLat = append(okLat, d)
+		}
+	}
+	committed := int64(len(okLat))
 	fmt.Printf("ingest load test: %d files over HTTP (%s), %d producers\n", n, base, producers)
-	fmt.Printf("  throughput: %.0f files/s in %v (%d triples, %d chunks indexed, %d backpressure retries)\n",
-		float64(n)/total.Seconds(), total.Round(time.Millisecond), st.Triples, st.Chunks, retries.Load())
-	qs := serve.Quantiles(lat, 0.50, 0.95, 0.99, 1)
-	fmt.Printf("  commit latency: p50 %v  p95 %v  p99 %v  max %v\n",
-		qs[0].Round(time.Microsecond), qs[1].Round(time.Microsecond),
-		qs[2].Round(time.Microsecond), qs[3].Round(time.Microsecond))
+	fmt.Printf("  throughput: %.0f files/s in %v (%d committed, %d triples, %d chunks indexed)\n",
+		float64(committed)/total.Seconds(), total.Round(time.Millisecond), committed, st.Triples, st.Chunks)
+	fmt.Printf("  sheds retried: %d backpressure (429), %d unavailable (503); hard failures: %d files dropped after %d retries each\n",
+		retries429.Load(), retries503.Load(), hardFails.Load(), maxIngestRetries)
+	if len(okLat) > 0 {
+		qs := serve.Quantiles(okLat, 0.50, 0.95, 0.99, 1)
+		fmt.Printf("  commit latency: p50 %v  p95 %v  p99 %v  max %v\n",
+			qs[0].Round(time.Microsecond), qs[1].Round(time.Microsecond),
+			qs[2].Round(time.Microsecond), qs[3].Round(time.Microsecond))
+	}
 	printServerView(client, base)
 }
 

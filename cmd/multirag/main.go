@@ -10,6 +10,8 @@
 //	multirag -demo -stats          # corpus statistics after ingestion
 //	multirag -demo -ask "..." -explain
 //	multirag serve -demo -addr :8473        # HTTP front door (see multirag serve -h)
+//	multirag serve -data-dir /var/lib/multirag   # durable: WAL + checkpoints, resumes on restart
+//	multirag recover -data-dir /var/lib/multirag # inspect/compact a durable directory offline
 //	multirag -demo -load 2000               # closed-loop HTTP latency test (p50/p95/p99)
 //	multirag -demo -load 2000 -qps 500      # open-loop at a target arrival rate
 //	multirag -demo -load 2000 -target http://host:8473   # aim at a running server
@@ -37,9 +39,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		runServeCmd(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServeCmd(os.Args[2:])
+			return
+		case "recover":
+			runRecoverCmd(os.Args[2:])
+			return
+		}
 	}
 	var (
 		ingest  = flag.String("ingest", "", "comma-separated data files to ingest")

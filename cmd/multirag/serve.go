@@ -1,9 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"multirag"
@@ -17,6 +22,13 @@ import (
 // is additionally shed with 429 while the group committer's admission window
 // is saturated, so overload backs up to clients instead of queueing without
 // bound inside the server.
+//
+// With -data-dir the corpus is durable: acknowledged ingests are write-ahead
+// logged and checkpointed under the directory, and a restart resumes exactly
+// where the previous process stopped. SIGINT/SIGTERM trigger a graceful
+// shutdown either way: new requests are rejected with 503 + Retry-After,
+// in-flight requests finish (bounded by -shutdown-timeout), then the WAL is
+// flushed into a final checkpoint before the process exits.
 func runServeCmd(args []string) {
 	fs := flag.NewFlagSet("multirag serve", flag.ExitOnError)
 	fs.Usage = func() {
@@ -32,7 +44,13 @@ Serve the ingested corpus over HTTP:
   GET  /healthz
 
 SLO classes: interactive (priority 2), batch (priority 1), ingest. Excess
-load is rejected with 429 (admission or full queue) or 503 (queue timeout).
+load is rejected with 429 (admission or full queue) or 503 (queue timeout);
+every shed response carries a Retry-After hint.
+
+With -data-dir, acknowledged ingests are write-ahead logged and checkpointed
+so a restart resumes the exact corpus. SIGINT/SIGTERM drain gracefully:
+in-flight requests finish, the WAL is flushed into a final checkpoint, then
+the process exits. Inspect or repair a directory with "multirag recover".
 
 Flags:
 `)
@@ -40,6 +58,8 @@ Flags:
 	}
 	var (
 		addr         = fs.String("addr", ":8473", "listen address")
+		dataDir      = fs.String("data-dir", "", "durable state directory (WAL + checkpoints); empty = in-memory only")
+		shutdownWait = fs.Duration("shutdown-timeout", 10*time.Second, "maximum wait for in-flight requests on SIGINT/SIGTERM")
 		demo         = fs.Bool("demo", false, "load the built-in CA981 case-study corpus")
 		ingest       = fs.String("ingest", "", "comma-separated data files to ingest before serving")
 		domain       = fs.String("domain", "data", "domain label for ingested files")
@@ -61,7 +81,7 @@ Flags:
 		fatal("serve: %v", err)
 	}
 
-	sys := multirag.Open(multirag.Config{
+	sysCfg := multirag.Config{
 		Seed:        *seed,
 		Workers:     *workers,
 		Shards:      *shards,
@@ -69,7 +89,21 @@ Flags:
 		NProbe:      *nprobe,
 		ANNInt8:     *annInt8,
 		AnswerCache: *cache,
-	})
+	}
+	var sys *multirag.System
+	if *dataDir != "" {
+		var info multirag.RecoveryInfo
+		var err error
+		sys, info, err = multirag.OpenDurable(*dataDir, sysCfg)
+		if err != nil {
+			fatal("serve: open %s: %v", *dataDir, err)
+		}
+		fmt.Printf("multirag serve: recovered %s (checkpoint LSN %d, %d WAL records replayed%s)\n",
+			*dataDir, info.CheckpointLSN, info.RecordsReplayed,
+			map[bool]string{true: ", torn tail truncated"}[info.Truncated])
+	} else {
+		sys = multirag.Open(sysCfg)
+	}
 	if *demo {
 		if err := sys.IngestFiles(demoFiles()...); err != nil {
 			fatal("serve: demo ingest: %v", err)
@@ -95,14 +129,40 @@ Flags:
 	if err != nil {
 		fatal("serve: %v", err)
 	}
-	defer srv.Close()
 
 	st := sys.Stats()
 	fmt.Printf("multirag serve: listening on %s (policy %s, %d triples, %d chunks indexed)\n",
 		*addr, *policy, st.Triples, st.Chunks)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	// Graceful shutdown: SIGINT/SIGTERM → reject new work (503 + Retry-After),
+	// let in-flight handlers finish within the deadline, stop the executors,
+	// then flush the WAL into a final checkpoint. A restart resumes exactly
+	// where this process stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		sys.Close()
 		fatal("serve: %v", err)
+	case <-ctx.Done():
 	}
+	stop() // a second signal kills immediately
+	fmt.Println("multirag serve: draining (new requests get 503 + Retry-After)")
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "multirag serve: shutdown: %v\n", err)
+	}
+	srv.Close()
+	if err := sys.Close(); err != nil {
+		fatal("serve: close durable state: %v", err)
+	}
+	fmt.Println("multirag serve: shutdown complete (state flushed)")
 }
 
 // serveClasses is the stock SLO layout with the CLI admission knobs applied

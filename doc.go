@@ -44,6 +44,15 @@
 // metrics endpoint reporting per-class latency percentiles and Jain
 // fairness. See DESIGN.md §8.
 //
+// Systems opened with multirag.Open are in-memory; OpenDurable(dir, cfg)
+// adds write-ahead logging and checkpointing under dir (CLI: `multirag serve
+// -data-dir`). Every acknowledged ingest is fsync'd into the log before its
+// snapshot is published, a background checkpointer folds the log into
+// snapshots, and reopening the same directory replays the tail — RecoveryInfo
+// reports what was found. Durable systems must be Close'd to take the final
+// checkpoint; `multirag recover` inspects and repairs a directory offline.
+// See DESIGN.md §9.
+//
 // The public API wraps the internal modules: adapters (internal/adapter),
 // the DSM columnar store (internal/dsm), JSON-LD normalisation
 // (internal/jsonld), knowledge-graph storage (internal/kg), the line-graph

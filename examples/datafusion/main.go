@@ -19,7 +19,10 @@ func main() {
 	spec := datasets.Movies(7)
 	spec.Entities = 60
 	spec.Queries = 40
-	d := datasets.Generate(spec)
+	d, err := datasets.Generate(spec)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
 	fmt.Printf("generated %q: %d sources, %d claims, %d gold facts, %d queries\n\n",
 		spec.Name, len(spec.Sources), len(d.Claims), len(d.Gold), len(d.Queries))
 

@@ -79,7 +79,7 @@ func smallDataset(t *testing.T) *datasets.Dataset {
 	spec := datasets.Movies(21)
 	spec.Entities = 30
 	spec.Queries = 25
-	return datasets.Generate(spec)
+	return datasets.MustGenerate(spec)
 }
 
 func TestAllMethodsAnswerFusionQueries(t *testing.T) {

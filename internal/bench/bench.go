@@ -181,7 +181,10 @@ func (c datasetCache) get(name string, o Options) (*datasets.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := datasets.Generate(o.scaleSpec(spec))
+	d, err := datasets.Generate(o.scaleSpec(spec))
+	if err != nil {
+		return nil, err
+	}
 	c[name] = d
 	return d, nil
 }

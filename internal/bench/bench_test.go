@@ -167,9 +167,15 @@ func TestQueriesForFiltersByFormat(t *testing.T) {
 	spec := datasets.Movies(3)
 	spec.Entities = 30
 	spec.Queries = 20
-	d := datasets.Generate(spec)
-	all := d.QueriesFor("J/K/C", 20)
-	jk := d.QueriesFor("J/K", 20)
+	d := datasets.MustGenerate(spec)
+	all, err := d.QueriesFor("J/K/C", 20)
+	if err != nil {
+		t.Fatalf("QueriesFor(J/K/C): %v", err)
+	}
+	jk, err := d.QueriesFor("J/K", 20)
+	if err != nil {
+		t.Fatalf("QueriesFor(J/K): %v", err)
+	}
 	if len(jk) == 0 || len(all) == 0 {
 		t.Fatal("workloads must not be empty")
 	}

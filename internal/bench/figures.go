@@ -139,7 +139,10 @@ func Figure6(o Options) error {
 		var f1s, qts []float64
 		var bf1s, bqts []float64
 		for _, frac := range levels {
-			corrupted := d.CorruptSources(frac, seed+307)
+			corrupted, err := d.CorruptSources(frac, seed+307)
+			if err != nil {
+				return fmt.Errorf("fig6 %s: %w", name, err)
+			}
 			f1, qt, _, err := multiragCell(core.Config{}, corrupted.Files, corrupted.Queries, seed)
 			if err != nil {
 				return fmt.Errorf("fig6 %s multirag: %w", name, err)
@@ -191,8 +194,14 @@ func Figure7(o Options) error {
 	if err != nil {
 		return err
 	}
-	files := d.FilterFormats("J/C/X")
-	queries := d.QueriesFor("J/C/X", len(d.Queries))
+	files, err := d.FilterFormats("J/C/X")
+	if err != nil {
+		return fmt.Errorf("fig7: %w", err)
+	}
+	queries, err := d.QueriesFor("J/C/X", len(d.Queries))
+	if err != nil {
+		return fmt.Errorf("fig7: %w", err)
+	}
 	alphas := []float64{0, 0.25, 0.5, 0.75, 1.0}
 	ticks := []string{"0.0", "0.25", "0.5", "0.75", "1.0"}
 	var f1s, qts []float64

@@ -100,8 +100,14 @@ func TableII(o Options) error {
 		if err != nil {
 			return err
 		}
-		files := d.FilterFormats(c.letters)
-		queries := d.QueriesFor(c.letters, len(d.Queries))
+		files, err := d.FilterFormats(c.letters)
+		if err != nil {
+			return fmt.Errorf("table2 %s: %w", c.dataset, err)
+		}
+		queries, err := d.QueriesFor(c.letters, len(d.Queries))
+		if err != nil {
+			return fmt.Errorf("table2 %s: %w", c.dataset, err)
+		}
 		row := []string{c.dataset, c.letters}
 		for _, m := range methods {
 			f1, secs, err := fusionCell(m, files, queries, seed)
@@ -161,8 +167,14 @@ func TableIII(o Options) error {
 		if err != nil {
 			return err
 		}
-		files := d.FilterFormats(c.letters)
-		queries := d.QueriesFor(c.letters, len(d.Queries))
+		files, err := d.FilterFormats(c.letters)
+		if err != nil {
+			return fmt.Errorf("table3 %s: %w", c.dataset, err)
+		}
+		queries, err := d.QueriesFor(c.letters, len(d.Queries))
+		if err != nil {
+			return fmt.Errorf("table3 %s: %w", c.dataset, err)
+		}
 		row := []string{c.dataset, c.letters}
 		for _, ac := range configs {
 			f1, qt, pt, err := multiragCell(ac.Cfg, files, queries, seed)

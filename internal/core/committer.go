@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -218,6 +219,20 @@ func (s *System) commitGroup(group []*prepared) {
 		committed = append(committed, p)
 	}
 
+	if len(committed) > 0 && s.dur != nil {
+		// Durability barrier: the group's record must be fsync'd before any
+		// of its batches is acknowledged or made visible. On failure nothing
+		// publishes and every caller gets the error — an un-acknowledged
+		// batch may legitimately be absent after recovery, but an
+		// acknowledged one may never be.
+		if err := s.dur.appendGroup(committed); err != nil {
+			for _, p := range committed {
+				p.err = fmt.Errorf("core: wal append: %w", err)
+			}
+			committed = nil
+		}
+	}
+
 	if len(committed) > 0 {
 		next := &snapshot{graph: g, index: ix, gen: cur.gen + 1}
 		if !s.cfg.DisableMKA {
@@ -232,6 +247,9 @@ func (s *System) commitGroup(group []*prepared) {
 			}
 		}
 		s.snap.Store(next)
+		if s.dur != nil {
+			s.dur.maybeRequestCheckpoint(&s.cfg)
+		}
 	}
 	now := time.Now()
 	for _, p := range committed {

@@ -19,7 +19,7 @@ func TestIngestDeterministicAcrossWorkerCounts(t *testing.T) {
 	spec := datasets.Movies(7)
 	spec.Entities = 25
 	spec.Queries = 12
-	d := datasets.Generate(spec)
+	d := datasets.MustGenerate(spec)
 
 	build := func(workers int) *System {
 		s := NewSystem(Config{Workers: workers, LLM: llm.Config{Seed: 1}})

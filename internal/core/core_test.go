@@ -203,7 +203,7 @@ func TestEndToEndFusionF1(t *testing.T) {
 	spec := datasets.Movies(11)
 	spec.Entities = 40
 	spec.Queries = 30
-	d := datasets.Generate(spec)
+	d := datasets.MustGenerate(spec)
 	s := NewSystem(Config{})
 	if _, err := s.Ingest(d.Files); err != nil {
 		t.Fatal(err)

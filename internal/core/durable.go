@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"multirag/internal/extract"
+	"multirag/internal/kg"
+	"multirag/internal/linegraph"
+	"multirag/internal/retrieval"
+	"multirag/internal/wal"
+)
+
+// Durability: systems opened with Open/OpenFS write one WAL record per commit
+// group — the committed batches' recorded operation streams, chunks and
+// embeddings — fsync'd BEFORE the group's snapshot is published, so an
+// acknowledged Ingest can never be lost. A background checkpointer folds the
+// log into a serialized snapshot (graph + line graph + retrieval store) once
+// it crosses a record-count or byte threshold: it rotates the log first, so
+// every segment below the rotation point is fully covered by the checkpoint
+// written against the state at that same LSN, and only then prunes covered
+// segments and stale checkpoints. Recovery loads the newest valid checkpoint,
+// replays the WAL tail through the same recorder-replay + BuildDelta path the
+// committer runs, and truncates whatever torn frame the crash left behind.
+//
+// Not covered: destructive graph mutation outside the logged ingest path (the
+// perturbation harness mutates the served graph in place and calls RebuildSG)
+// is invisible to the WAL — durable deployments must not use it between
+// checkpoint and crash.
+
+// Default background-checkpoint thresholds (Config.CheckpointRecords /
+// Config.CheckpointBytes when unset).
+const (
+	DefaultCheckpointRecords = 256
+	DefaultCheckpointBytes   = 8 << 20
+)
+
+// snapshotVersion versions the checkpoint body layout.
+const snapshotVersion = 1
+
+// durable is the persistence state of a System opened with Open/OpenFS; nil
+// for purely in-memory systems.
+type durable struct {
+	fs  wal.FS
+	dir string
+
+	// log and enc are guarded by System.mu: appends happen inside the commit
+	// critical section, rotation inside Checkpoint's locked window, close
+	// under the lock in Close. lastCkpt/hasCkpt share the same guard.
+	log      *wal.Log
+	enc      wal.Encoder
+	lastCkpt uint64 // LSN covered by the newest durable checkpoint
+	hasCkpt  bool
+
+	// ckptMu serializes whole checkpoint cycles (rotate → serialize → write →
+	// prune) across the background loop, explicit Checkpoint calls and the
+	// final one in Close.
+	ckptMu    sync.Mutex
+	ckptReq   chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// RecoveryInfo summarises what Open found on disk.
+type RecoveryInfo struct {
+	// CheckpointLSN is the LSN covered by the checkpoint that seeded the
+	// state (0 when the system started from scratch).
+	CheckpointLSN uint64
+	// RecordsReplayed is how many WAL records were replayed on top of it.
+	RecordsReplayed int
+	// Truncated reports that a torn or corrupt frame was found at the log
+	// tail and everything from it on was discarded (a crash mid-append; the
+	// affected group was never acknowledged).
+	Truncated bool
+}
+
+// Open opens (or initialises) a durable system in dir: the newest valid
+// checkpoint is loaded, the WAL tail is replayed on top of it, torn frames
+// are repaired, and the log is reopened for appending. The caller owns the
+// returned system's lifecycle and must Close it to take the final checkpoint.
+func Open(dir string, cfg Config) (*System, *RecoveryInfo, error) {
+	return OpenFS(wal.OSFS{}, dir, cfg)
+}
+
+// OpenFS is Open over an explicit filesystem — the seam the fault-injection
+// suite drives with wal.MemFS.
+func OpenFS(fsys wal.FS, dir string, cfg Config) (*System, *RecoveryInfo, error) {
+	s := NewSystem(cfg)
+	body, ckptLSN, err := wal.LoadCheckpoint(fsys, dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	sn := s.snap.Load() // the fresh empty snapshot NewSystem published
+	if body != nil {
+		if sn, err = s.decodeSnapshot(body); err != nil {
+			return nil, nil, fmt.Errorf("core: checkpoint at LSN %d: %w", ckptLSN, err)
+		}
+	}
+	sr, err := wal.Scan(fsys, dir, ckptLSN)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &RecoveryInfo{
+		CheckpointLSN:   ckptLSN,
+		RecordsReplayed: len(sr.Records),
+		Truncated:       sr.Truncated,
+	}
+	g, sg, ix := sn.graph, sn.sg, sn.index
+	var newIDs []string
+	for i, payload := range sr.Records {
+		if newIDs, err = s.applyRecovered(g, ix, payload, newIDs); err != nil {
+			return nil, nil, fmt.Errorf("core: replay WAL record %d: %w", sr.From+uint64(i), err)
+		}
+	}
+	if len(newIDs) > 0 && !s.cfg.DisableMKA {
+		// One merged delta over the whole replayed tail. Equivalent to the
+		// per-record deltas the committer ran: a homologous group is always
+		// recomputed from the current graph at its last touch, and every
+		// record that grows a group touches it with that record's own IDs —
+		// so recomputing each touched group once, against the final graph,
+		// lands on the same SG without the O(records × groups) rescans.
+		if s.cfg.DisableIncrementalSG {
+			sg = linegraph.Build(g)
+		} else {
+			sg = linegraph.BuildDelta(sg, g, newIDs)
+		}
+	}
+	log, err := wal.OpenLog(fsys, dir, sr)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.snap.Store(&snapshot{graph: g, sg: sg, index: ix})
+	s.dur = &durable{
+		fs:       fsys,
+		dir:      dir,
+		log:      log,
+		lastCkpt: ckptLSN,
+		hasCkpt:  body != nil,
+		ckptReq:  make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.checkpointLoop()
+	return s, info, nil
+}
+
+// Close drains the durability machinery: it stops the background
+// checkpointer, takes a final checkpoint (so a restart recovers from the
+// snapshot alone, with an empty tail to replay) and closes the log. The
+// serving layer calls it after draining in-flight ingest; an Ingest racing
+// Close fails its WAL append and is not acknowledged. Close is idempotent;
+// on an in-memory system it is a no-op.
+func (s *System) Close() error {
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	var err error
+	d.closeOnce.Do(func() {
+		close(d.stop)
+		<-d.done
+		err = s.Checkpoint()
+		s.mu.Lock()
+		if cerr := d.log.Close(); err == nil {
+			err = cerr
+		}
+		s.mu.Unlock()
+	})
+	return err
+}
+
+// Checkpoint writes a durable snapshot of the current serving state and
+// prunes the log below it. The rotate-then-serialize order under the write
+// lock pins a consistent (snapshot, LSN) pair: every record below the
+// rotation point is already folded into the snapshot about to be written, so
+// pruning those segments after the checkpoint is durable can never widen a
+// recovery gap. Serialization itself runs off-lock against the immutable
+// snapshot, so commits proceed while the checkpoint body is encoded.
+func (s *System) Checkpoint() error {
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	s.mu.Lock()
+	if d.hasCkpt && d.log.NextLSN() == d.lastCkpt {
+		s.mu.Unlock()
+		return nil // nothing committed since the last checkpoint
+	}
+	if err := d.log.Rotate(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	lsn := d.log.NextLSN()
+	sn := s.snap.Load()
+	s.mu.Unlock()
+
+	var e wal.Encoder
+	encodeSnapshot(&e, sn)
+	if err := wal.WriteCheckpoint(d.fs, d.dir, lsn, e.Bytes()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	d.lastCkpt, d.hasCkpt = lsn, true
+	s.mu.Unlock()
+	return wal.RemoveBelow(d.fs, d.dir, lsn)
+}
+
+// checkpointLoop is the background checkpointer: it waits for threshold
+// triggers from the commit path and folds the log. A failed attempt is
+// retried on the next trigger (the thresholds stay exceeded), and Close takes
+// a final checkpoint whose error does surface.
+func (s *System) checkpointLoop() {
+	d := s.dur
+	defer close(d.done)
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-d.ckptReq:
+			_ = s.Checkpoint()
+		}
+	}
+}
+
+// maybeRequestCheckpoint pokes the background checkpointer when the log has
+// outgrown the configured thresholds. Called under System.mu right after a
+// publish; the send is non-blocking, so triggers coalesce while a checkpoint
+// is in flight.
+func (d *durable) maybeRequestCheckpoint(cfg *Config) {
+	recs := cfg.CheckpointRecords
+	if recs <= 0 {
+		recs = DefaultCheckpointRecords
+	}
+	bytes := cfg.CheckpointBytes
+	if bytes <= 0 {
+		bytes = DefaultCheckpointBytes
+	}
+	if d.log.NextLSN()-d.lastCkpt < uint64(recs) && d.log.ActiveSize() < bytes {
+		return
+	}
+	select {
+	case d.ckptReq <- struct{}{}:
+	default:
+	}
+}
+
+// appendGroup durably logs one commit group's committed batches. Called under
+// System.mu before the group's snapshot is published: a batch is acknowledged
+// only after its record is fsync'd, and recovery replays a record only if it
+// was fully written — the two halves of the no-lost-acks contract.
+func (d *durable) appendGroup(committed []*prepared) error {
+	d.enc.Reset()
+	if err := encodeGroupRecord(&d.enc, committed); err != nil {
+		return err
+	}
+	_, err := d.log.Append(d.enc.Bytes())
+	return err
+}
+
+// encodeSnapshot serializes one immutable snapshot as a checkpoint body.
+func encodeSnapshot(e *wal.Encoder, sn *snapshot) {
+	e.Uvarint(snapshotVersion)
+	sn.graph.EncodeTo(e)
+	e.Bool(sn.sg != nil)
+	if sn.sg != nil {
+		sn.sg.EncodeTo(e)
+	}
+	retrieval.EncodeStore(e, sn.index)
+}
+
+// decodeSnapshot rebuilds a snapshot from a checkpoint body, constructing the
+// retrieval store with this system's own layout options (shard count and
+// pre-filters are rebuild-time knobs, not persisted state).
+func (s *System) decodeSnapshot(body []byte) (*snapshot, error) {
+	d := wal.NewDecoder(body)
+	if v := d.Uvarint(); d.Err() == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d not supported", v)
+	}
+	g, err := kg.DecodeGraph(d)
+	if err != nil {
+		return nil, err
+	}
+	var sg *linegraph.SG
+	if d.Bool() {
+		if sg, err = linegraph.DecodeSG(d, g); err != nil {
+			return nil, err
+		}
+	}
+	ix := retrieval.New(s.cfg.storeOptions())
+	if err := retrieval.DecodeIntoStore(d, ix); err != nil {
+		return nil, err
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	if sg == nil && !s.cfg.DisableMKA && g.NumTriples() > 0 {
+		// The checkpoint was written with MKA disabled; build the line graph
+		// this configuration expects.
+		sg = linegraph.Build(g)
+	}
+	return &snapshot{graph: g, sg: sg, index: ix}, nil
+}
+
+// opStreamer is the serialization half of the extraction-recorder contract:
+// production recorders (extract.Recorder) expose their recorded op stream so
+// the WAL can replay it. Batches whose replayer cannot be serialized fail
+// their WAL append instead of being silently dropped from the log.
+type opStreamer interface {
+	ForEachOp(entity func(name, typ, domain string), triple func(t kg.Triple))
+}
+
+// encodeGroupRecord serializes the committed batches of one commit group, in
+// ticket order, as one WAL record payload: per batch the per-file recorded
+// operation streams plus the rendered chunks with their embeddings.
+func encodeGroupRecord(e *wal.Encoder, committed []*prepared) error {
+	e.Int(len(committed))
+	for _, p := range committed {
+		e.Int(len(p.work))
+		for i := range p.work {
+			w := &p.work[i]
+			str, ok := w.rec.(opStreamer)
+			if !ok {
+				return fmt.Errorf("core: recorder %T cannot be serialized to the WAL", w.rec)
+			}
+			n := 0
+			str.ForEachOp(
+				func(string, string, string) { n++ },
+				func(kg.Triple) { n++ })
+			e.Int(n)
+			str.ForEachOp(
+				func(name, typ, domain string) {
+					e.Bool(true)
+					e.String(name)
+					e.String(typ)
+					e.String(domain)
+				},
+				func(t kg.Triple) {
+					e.Bool(false)
+					e.String(t.Subject)
+					e.String(t.Predicate)
+					e.String(t.Object)
+					e.String(t.ObjectEntity)
+					e.String(t.Source)
+					e.String(t.Domain)
+					e.String(t.Format)
+					e.String(t.ChunkID)
+					e.F64(t.Weight)
+				})
+			e.Int(len(w.chunks))
+			for j := range w.chunks {
+				c := &w.chunks[j]
+				e.String(c.ID)
+				e.String(c.DocID)
+				e.String(c.Source)
+				e.String(c.Text)
+				e.F32s(w.vecs[j])
+			}
+		}
+	}
+	return nil
+}
+
+// recoveredFile is one file's replay data decoded from a WAL record.
+type recoveredFile struct {
+	rec    *extract.Recorder
+	chunks []retrieval.Chunk
+	vecs   []retrieval.Vector
+}
+
+// decodeGroupRecord rebuilds a commit group's batches from a WAL record
+// payload. The op streams are fed back through a fresh Recorder's
+// AddEntity/AddTriple — the same validation the original extraction passed —
+// and every embedding is checked against the store width, so a record that
+// somehow decodes but violates an invariant errors instead of panicking
+// downstream.
+func decodeGroupRecord(payload []byte, dim int) ([][]recoveredFile, error) {
+	d := wal.NewDecoder(payload)
+	nb := d.Int()
+	batches := make([][]recoveredFile, 0, nb)
+	for i := 0; i < nb && d.Err() == nil; i++ {
+		nf := d.Int()
+		files := make([]recoveredFile, 0, nf)
+		for j := 0; j < nf && d.Err() == nil; j++ {
+			f := recoveredFile{rec: extract.NewRecorder()}
+			nOps := d.Int()
+			for k := 0; k < nOps && d.Err() == nil; k++ {
+				if d.Bool() {
+					f.rec.AddEntity(d.String(), d.String(), d.String())
+					continue
+				}
+				t := kg.Triple{
+					Subject:      d.String(),
+					Predicate:    d.String(),
+					Object:       d.String(),
+					ObjectEntity: d.String(),
+					Source:       d.String(),
+					Domain:       d.String(),
+					Format:       d.String(),
+					ChunkID:      d.String(),
+					Weight:       d.F64(),
+				}
+				if d.Err() != nil {
+					break
+				}
+				if _, err := f.rec.AddTriple(t); err != nil {
+					return nil, err
+				}
+			}
+			nChunks := d.Int()
+			for k := 0; k < nChunks && d.Err() == nil; k++ {
+				c := retrieval.Chunk{ID: d.String(), DocID: d.String(), Source: d.String(), Text: d.String()}
+				v := d.F32s()
+				if d.Err() != nil {
+					break
+				}
+				if len(v) != dim {
+					return nil, fmt.Errorf("core: recovered chunk %s vector dim %d does not match store dim %d", c.ID, len(v), dim)
+				}
+				f.chunks = append(f.chunks, c)
+				f.vecs = append(f.vecs, v)
+			}
+			files = append(files, f)
+		}
+		batches = append(batches, files)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return batches, nil
+}
+
+// applyRecovered replays one WAL record onto the recovery state — every
+// batch's recorders in ticket order, the chunks into the store — and appends
+// the record's new triple IDs to newIDs. The line-graph delta is deferred to
+// the caller, which folds the whole replayed tail in one BuildDelta: per-tail
+// instead of per-record, because groups only ever need their state as of the
+// last record that touched them.
+func (s *System) applyRecovered(g *kg.Graph, ix retrieval.Store, payload []byte, newIDs []string) ([]string, error) {
+	batches, err := decodeGroupRecord(payload, ix.Dim())
+	if err != nil {
+		return newIDs, err
+	}
+	for _, files := range batches {
+		for i := range files {
+			f := &files[i]
+			if newIDs, err = f.rec.ReplayAppend(g, newIDs); err != nil {
+				return newIDs, err
+			}
+			if len(f.chunks) > 0 {
+				ix.AddEmbeddedBatch(f.chunks, f.vecs)
+			}
+		}
+	}
+	return newIDs, nil
+}

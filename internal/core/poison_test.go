@@ -87,7 +87,7 @@ func TestStageSnapshotsMonotone(t *testing.T) {
 	spec := datasets.Movies(17)
 	spec.Entities = 30
 	spec.Queries = 15
-	d := datasets.Generate(spec)
+	d := datasets.MustGenerate(spec)
 	s := NewSystem(Config{})
 	if _, err := s.Ingest(d.Files); err != nil {
 		t.Fatal(err)

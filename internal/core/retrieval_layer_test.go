@@ -40,7 +40,7 @@ func TestShardedSystemMatchesFlat(t *testing.T) {
 	spec := datasets.Movies(7)
 	spec.Entities = 25
 	spec.Queries = 12
-	d := datasets.Generate(spec)
+	d := datasets.MustGenerate(spec)
 
 	build := func(shards int, noPostings bool) *System {
 		s := NewSystem(Config{
@@ -166,7 +166,7 @@ func TestShardedIngestDeterministicAcrossWorkerCounts(t *testing.T) {
 	spec := datasets.Flights(9)
 	spec.Entities = 20
 	spec.Queries = 10
-	d := datasets.Generate(spec)
+	d := datasets.MustGenerate(spec)
 	build := func(workers int) *System {
 		s := NewSystem(Config{Workers: workers, Shards: 8, LLM: llm.Config{Seed: 1}})
 		if _, err := s.Ingest(d.Files); err != nil {

@@ -94,6 +94,13 @@ type Config struct {
 	// history credits on every hit, so answers are bit-identical with the
 	// memo on or off. The knob exists for A/B benchmarking.
 	DisableEvidenceMemo bool
+	// CheckpointRecords is how many WAL records may accumulate past the last
+	// checkpoint before the background checkpointer folds the log into a new
+	// one (durable systems only; <=0 selects DefaultCheckpointRecords).
+	CheckpointRecords int
+	// CheckpointBytes triggers a checkpoint once the active WAL segment
+	// exceeds this many bytes (<=0 selects DefaultCheckpointBytes).
+	CheckpointBytes int
 	// SerializeIngest reverts Ingest to the pre-pipeline write path: the
 	// whole call — extraction fan-out included — runs under the write lock,
 	// every batch commits its own snapshot, and the homologous statistics
@@ -173,6 +180,10 @@ type System struct {
 	// bounded queue of prepared batches drained by a single committer. See
 	// committer.go.
 	gc groupCommitter
+
+	// dur is the durability state (WAL, checkpointer) of a system opened with
+	// Open/OpenFS; nil for purely in-memory systems. See durable.go.
+	dur *durable
 }
 
 // NewSystem builds an empty system from cfg.
@@ -209,17 +220,24 @@ func NewSystem(cfg Config) *System {
 	s.gc.init()
 	s.snap.Store(&snapshot{
 		graph: kg.New(),
-		index: retrieval.New(retrieval.Options{
-			Dim:         retrieval.DefaultDim,
-			Shards:      cfg.Shards,
-			Postings:    !cfg.DisablePostings,
-			Workers:     cfg.Workers,
-			ANN:         cfg.ANN,
-			NProbe:      cfg.NProbe,
-			ANNQuantize: cfg.ANNQuantize,
-		}),
+		index: retrieval.New(cfg.storeOptions()),
 	})
 	return s
+}
+
+// storeOptions derives the retrieval-store layout from the config. Recovery
+// rebuilds stores with the same options, so shard count and pre-filters stay
+// pure runtime knobs rather than persisted state.
+func (cfg *Config) storeOptions() retrieval.Options {
+	return retrieval.Options{
+		Dim:         retrieval.DefaultDim,
+		Shards:      cfg.Shards,
+		Postings:    !cfg.DisablePostings,
+		Workers:     cfg.Workers,
+		ANN:         cfg.ANN,
+		NProbe:      cfg.NProbe,
+		ANNQuantize: cfg.ANNQuantize,
+	}
 }
 
 // Workers resolves the configured pool size (Config.Workers, defaulting to

@@ -20,8 +20,8 @@ func smallMovies(seed uint64) Spec {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(smallMovies(7))
-	b := Generate(smallMovies(7))
+	a := MustGenerate(smallMovies(7))
+	b := MustGenerate(smallMovies(7))
 	if len(a.Claims) != len(b.Claims) || len(a.Files) != len(b.Files) {
 		t.Fatal("same seed must generate identical datasets")
 	}
@@ -35,14 +35,14 @@ func TestGenerateDeterministic(t *testing.T) {
 			t.Fatalf("file %d content differs", i)
 		}
 	}
-	c := Generate(smallMovies(8))
+	c := MustGenerate(smallMovies(8))
 	if len(c.Claims) == len(a.Claims) && reflect.DeepEqual(c.Claims, a.Claims) {
 		t.Fatal("different seeds must differ")
 	}
 }
 
 func TestGenerateQueriesAnswerable(t *testing.T) {
-	d := Generate(smallMovies(1))
+	d := MustGenerate(smallMovies(1))
 	if len(d.Queries) == 0 {
 		t.Fatal("no queries generated")
 	}
@@ -67,7 +67,7 @@ func TestGenerateQueriesAnswerable(t *testing.T) {
 }
 
 func TestGenerateCopySourcesReplicate(t *testing.T) {
-	d := Generate(smallMovies(3))
+	d := MustGenerate(smallMovies(3))
 	spec := d.Spec
 	var copySrc, parent string
 	for _, s := range spec.Sources {
@@ -99,8 +99,11 @@ func TestGenerateCopySourcesReplicate(t *testing.T) {
 }
 
 func TestFilterFormats(t *testing.T) {
-	d := Generate(smallMovies(1))
-	jk := d.FilterFormats("J/K")
+	d := MustGenerate(smallMovies(1))
+	jk, err := d.FilterFormats("J/K")
+	if err != nil {
+		t.Fatalf("FilterFormats(J/K): %v", err)
+	}
 	for _, f := range jk {
 		if f.Format != "json" && f.Format != "kg" {
 			t.Fatalf("unexpected format %s in J/K filter", f.Format)
@@ -109,26 +112,34 @@ func TestFilterFormats(t *testing.T) {
 	if len(jk) == 0 || len(jk) >= len(d.Files) {
 		t.Fatalf("filter size = %d of %d", len(jk), len(d.Files))
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown letter must panic")
-		}
-	}()
-	d.FilterFormats("Z")
+	// Unknown letters come from table definitions and CLI flags: they must
+	// surface as errors, not panics.
+	if _, err := d.FilterFormats("Z"); err == nil {
+		t.Fatal("FilterFormats(Z) = nil error, want unknown-letter error")
+	}
+	if _, err := d.QueriesFor("Z", 5); err == nil {
+		t.Fatal("QueriesFor(Z) = nil error, want unknown-letter error")
+	}
+	if _, err := Generate(Spec{Name: "bad", Domain: "movie", Entities: 1,
+		Attributes: []AttrSpec{{Name: "director", Kind: "person"}},
+		Sources:    []SourceSpec{{Name: "s1", Format: "parquet", Reliability: 1, Coverage: 1}},
+	}); err == nil {
+		t.Fatal("Generate with unknown source format = nil error, want error")
+	}
 }
 
 func TestSourcesByFormatMatchesTableI(t *testing.T) {
-	d := Generate(Movies(1))
+	d := MustGenerate(Movies(1))
 	got := d.SourcesByFormat()
 	if got["json"] != 4 || got["kg"] != 5 || got["csv"] != 4 {
 		t.Fatalf("Movies source split = %v, want J:4 K:5 C:4 (Table I)", got)
 	}
-	b := Generate(Books(1))
+	b := MustGenerate(Books(1))
 	gb := b.SourcesByFormat()
 	if gb["json"] != 3 || gb["csv"] != 3 || gb["xml"] != 4 {
 		t.Fatalf("Books source split = %v, want J:3 C:3 X:4", gb)
 	}
-	fl := Generate(Flights(1))
+	fl := MustGenerate(Flights(1))
 	gf := fl.SourcesByFormat()
 	if gf["csv"] != 10 || gf["json"] != 10 {
 		t.Fatalf("Flights source split = %v, want C:10 J:10", gf)
@@ -137,8 +148,8 @@ func TestSourcesByFormatMatchesTableI(t *testing.T) {
 
 func TestDensityContrast(t *testing.T) {
 	// Movies must be denser than Books: more claims per gold fact.
-	m := Generate(Movies(1))
-	b := Generate(Books(1))
+	m := MustGenerate(Movies(1))
+	b := MustGenerate(Books(1))
 	density := func(d *Dataset) float64 {
 		return float64(len(d.Claims)) / float64(len(d.Gold))
 	}
@@ -163,7 +174,7 @@ func buildGraph(t *testing.T, files []adapter.RawFile) *kg.Graph {
 }
 
 func TestEndToEndIngestion(t *testing.T) {
-	d := Generate(smallMovies(1))
+	d := MustGenerate(smallMovies(1))
 	g := buildGraph(t, d.Files)
 	if g.NumTriples() < len(d.Claims)/2 {
 		t.Fatalf("graph has %d triples for %d claims; ingestion is losing data",
@@ -183,7 +194,7 @@ func TestEndToEndIngestion(t *testing.T) {
 }
 
 func TestMaskRelationsKeepsAnswerability(t *testing.T) {
-	d := Generate(smallMovies(2))
+	d := MustGenerate(smallMovies(2))
 	g := buildGraph(t, d.Files)
 	before := g.NumTriples()
 	removed := MaskRelations(g, 0.5, 11, d.Gold)
@@ -210,7 +221,7 @@ func TestMaskRelationsKeepsAnswerability(t *testing.T) {
 }
 
 func TestMaskRelationsZeroFrac(t *testing.T) {
-	d := Generate(smallMovies(2))
+	d := MustGenerate(smallMovies(2))
 	g := buildGraph(t, d.Files)
 	if MaskRelations(g, 0, 1, d.Gold) != 0 {
 		t.Fatal("frac=0 must be a no-op")
@@ -218,7 +229,7 @@ func TestMaskRelationsZeroFrac(t *testing.T) {
 }
 
 func TestAddShuffledTriples(t *testing.T) {
-	d := Generate(smallMovies(2))
+	d := MustGenerate(smallMovies(2))
 	g := buildGraph(t, d.Files)
 	before := g.NumTriples()
 	added := AddShuffledTriples(g, 0.3, 5)
@@ -243,8 +254,11 @@ func TestAddShuffledTriples(t *testing.T) {
 }
 
 func TestCorruptSources(t *testing.T) {
-	d := Generate(smallMovies(4))
-	c := d.CorruptSources(0.5, 9)
+	d := MustGenerate(smallMovies(4))
+	c, err := d.CorruptSources(0.5, 9)
+	if err != nil {
+		t.Fatalf("CorruptSources: %v", err)
+	}
 	if len(c.Claims) != len(d.Claims) {
 		t.Fatalf("claim count changed: %d vs %d", len(c.Claims), len(d.Claims))
 	}
@@ -258,7 +272,7 @@ func TestCorruptSources(t *testing.T) {
 	if frac < 0.3 || frac > 0.7 {
 		t.Fatalf("corruption fraction = %.2f, want ≈0.5", frac)
 	}
-	if same := d.CorruptSources(0, 1); same != d {
+	if same, err := d.CorruptSources(0, 1); err != nil || same != d {
 		t.Fatal("frac=0 must return the dataset unchanged")
 	}
 	// Files must reflect corrupted claims.

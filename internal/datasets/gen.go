@@ -13,8 +13,9 @@ import (
 // Generate materialises a fusion dataset from its spec: gold truth,
 // per-source claims (with reliability, coverage and copying), files in each
 // source's storage format, and the query workload. The output is fully
-// deterministic in spec.Seed.
-func Generate(spec Spec) *Dataset {
+// deterministic in spec.Seed. A source with an unknown storage format is an
+// error. MustGenerate is the panicking convenience for code-defined specs.
+func Generate(spec Spec) (*Dataset, error) {
 	rng := rand.New(rand.NewSource(int64(spec.Seed)))
 	d := &Dataset{Spec: spec, Gold: map[string][]string{}}
 
@@ -105,7 +106,10 @@ func Generate(spec Spec) *Dataset {
 
 	// 4. Materialise files.
 	for _, src := range spec.Sources {
-		f := materialise(spec, src, claimsBySource[src.Name])
+		f, err := materialise(spec, src, claimsBySource[src.Name])
+		if err != nil {
+			return nil, fmt.Errorf("datasets: generate %s: %w", spec.Name, err)
+		}
 		d.Files = append(d.Files, f)
 	}
 
@@ -140,6 +144,16 @@ func Generate(spec Spec) *Dataset {
 			Gold:      d.Gold[GoldKey(fa.ent, fa.attr)],
 		})
 	}
+	return d, nil
+}
+
+// MustGenerate is Generate for specs that are known-good by construction
+// (the built-in Table I specs, test fixtures); it panics on error.
+func MustGenerate(spec Spec) *Dataset {
+	d, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
 	return d
 }
 
@@ -164,8 +178,10 @@ func containsNorm(haystack []string, needle string) bool {
 	return false
 }
 
-// materialise renders one source's claims into its storage format.
-func materialise(spec Spec, src SourceSpec, claims []Claim) adapter.RawFile {
+// materialise renders one source's claims into its storage format. An
+// unknown format in the source spec is an error: specs can be assembled from
+// CLI input, so a typo must surface as a message, not a stack trace.
+func materialise(spec Spec, src SourceSpec, claims []Claim) (adapter.RawFile, error) {
 	f := adapter.RawFile{
 		Domain: spec.Domain,
 		Source: src.Name,
@@ -202,9 +218,9 @@ func materialise(spec Spec, src SourceSpec, claims []Claim) adapter.RawFile {
 	case "text":
 		f.Content = renderText(byEnt, order)
 	default:
-		panic(fmt.Sprintf("datasets: unknown source format %q", src.Format))
+		return adapter.RawFile{}, fmt.Errorf("datasets: source %s: unknown format %q (want csv/json/xml/kg/text)", src.Name, src.Format)
 	}
-	return f
+	return f, nil
 }
 
 // entData groups one entity's claimed values per attribute within a source.

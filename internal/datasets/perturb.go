@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -176,9 +177,9 @@ func AddShuffledTriples(g *kg.Graph, frac float64, seed uint64) int {
 // dataset's conflict pool, returning a new claim slice. The dataset files are
 // regenerated from the corrupted claims so the whole ingestion path sees the
 // corruption.
-func (d *Dataset) CorruptSources(frac float64, seed uint64) *Dataset {
+func (d *Dataset) CorruptSources(frac float64, seed uint64) (*Dataset, error) {
 	if frac <= 0 {
-		return d
+		return d, nil
 	}
 	rng := rand.New(rand.NewSource(int64(seed)))
 	out := &Dataset{Spec: d.Spec, Gold: d.Gold, Queries: d.Queries}
@@ -206,9 +207,13 @@ func (d *Dataset) CorruptSources(frac float64, seed uint64) *Dataset {
 	}
 	for _, src := range d.Spec.Sources {
 		out.Claims = append(out.Claims, corrupted[src.Name]...)
-		out.Files = append(out.Files, materialise(d.Spec, src, corrupted[src.Name]))
+		f, err := materialise(d.Spec, src, corrupted[src.Name])
+		if err != nil {
+			return nil, fmt.Errorf("datasets: corrupt %s: %w", d.Spec.Name, err)
+		}
+		out.Files = append(out.Files, f)
 	}
-	return out
+	return out, nil
 }
 
 func corruptClaimValue(rng *rand.Rand, v string) string {

@@ -97,11 +97,12 @@ func GoldKey(entity, attribute string) string {
 	return normName(entity) + "\x00" + attribute
 }
 
-// FilterFormats returns the dataset's files restricted to the given format
-// letters, using the paper's Table II abbreviations: J=json, K=kg, C=csv,
-// X=xml, T=text. An unknown letter panics — it is a programming error in a
-// benchmark table definition.
-func (d *Dataset) FilterFormats(letters string) []adapter.RawFile {
+// parseFormatLetters expands a Table II format-combination string (J=json,
+// K=kg, C=csv, X=xml, T=text; '/' and spaces are separators) into a format
+// set. Combination strings originate in benchmark table definitions and CLI
+// flags, so an unknown letter is reported as an error for the caller to
+// surface, not a stack trace.
+func parseFormatLetters(letters string) (map[string]bool, error) {
 	want := map[string]bool{}
 	for _, r := range letters {
 		switch r {
@@ -117,8 +118,19 @@ func (d *Dataset) FilterFormats(letters string) []adapter.RawFile {
 			want["text"] = true
 		case '/', ' ':
 		default:
-			panic(fmt.Sprintf("datasets: unknown format letter %q", string(r)))
+			return nil, fmt.Errorf("datasets: unknown format letter %q in %q (want J/K/C/X/T)", string(r), letters)
 		}
+	}
+	return want, nil
+}
+
+// FilterFormats returns the dataset's files restricted to the given format
+// letters, using the paper's Table II abbreviations: J=json, K=kg, C=csv,
+// X=xml, T=text. An unknown letter is an error.
+func (d *Dataset) FilterFormats(letters string) ([]adapter.RawFile, error) {
+	want, err := parseFormatLetters(letters)
+	if err != nil {
+		return nil, err
 	}
 	var out []adapter.RawFile
 	for _, f := range d.Files {
@@ -126,7 +138,7 @@ func (d *Dataset) FilterFormats(letters string) []adapter.RawFile {
 			out = append(out, f)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // SourcesByFormat counts sources per format (Table I's "Sources" column).

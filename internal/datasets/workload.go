@@ -9,8 +9,9 @@ import (
 // combination: it keeps only facts that remain answerable (≥1 correct claim)
 // when the corpus is filtered to the given format letters, preserving the
 // original query order and topping up with additional answerable facts if
-// filtering starved the workload below n.
-func (d *Dataset) QueriesFor(letters string, n int) []Query {
+// filtering starved the workload below n. An unknown format letter is an
+// error, as in FilterFormats.
+func (d *Dataset) QueriesFor(letters string, n int) ([]Query, error) {
 	if n <= 0 {
 		n = d.Spec.Queries
 	}
@@ -18,20 +19,9 @@ func (d *Dataset) QueriesFor(letters string, n int) []Query {
 	for _, s := range d.Spec.Sources {
 		formatOf[s.Name] = s.Format
 	}
-	want := map[string]bool{}
-	for _, r := range letters {
-		switch r {
-		case 'J', 'j':
-			want["json"] = true
-		case 'K', 'k':
-			want["kg"] = true
-		case 'C', 'c':
-			want["csv"] = true
-		case 'X', 'x':
-			want["xml"] = true
-		case 'T', 't':
-			want["text"] = true
-		}
+	want, err := parseFormatLetters(letters)
+	if err != nil {
+		return nil, err
 	}
 	answerable := map[string]bool{}
 	for _, c := range d.Claims {
@@ -47,7 +37,7 @@ func (d *Dataset) QueriesFor(letters string, n int) []Query {
 			used[key] = true
 			out = append(out, q)
 			if len(out) == n {
-				return out
+				return out, nil
 			}
 		}
 	}
@@ -69,5 +59,5 @@ func (d *Dataset) QueriesFor(letters string, n int) []Query {
 			Gold:      d.Gold[key],
 		})
 	}
-	return out
+	return out, nil
 }

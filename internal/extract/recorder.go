@@ -68,6 +68,21 @@ func (r *Recorder) NumEntities() int { return len(r.entities) }
 // NumTriples reports the recorded triple count.
 func (r *Recorder) NumTriples() int { return r.triples }
 
+// ForEachOp visits the recorded operation stream in recording order: entity
+// ops through entity, triple ops through triple. The durability layer
+// serializes a recorder through it and rebuilds one by feeding the visited
+// ops back into AddEntity/AddTriple on a fresh Recorder, which reproduces the
+// stream (and therefore Replay's effect) exactly.
+func (r *Recorder) ForEachOp(entity func(name, typ, domain string), triple func(t kg.Triple)) {
+	for _, o := range r.ops {
+		if o.name != "" {
+			entity(o.name, o.typ, o.domain)
+		} else {
+			triple(o.triple)
+		}
+	}
+}
+
 // Replay applies the recorded operation stream to g in recording order and
 // returns the IDs of the triples inserted. Replay is cheap (map inserts); all
 // model-driven work already happened while recording.

@@ -1,0 +1,55 @@
+package jsonld
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDocumentUnmarshal throws arbitrary bytes at the JSON-LD document
+// parser — the normalisation layer every adapter output passes through.
+// Invariants: no panic, and any input that parses reaches a stable normal
+// form: marshal → parse → marshal is byte-identical, so persisted documents
+// re-load to the same wire form forever.
+func FuzzDocumentUnmarshal(f *testing.F) {
+	f.Add([]byte(`{"@id":"flight:CA981","@type":"Flight","status":"Delayed"}`))
+	f.Add([]byte(`{"@context":{"status":"ex:status"},"@id":"a","tags":["x","y"]}`))
+	f.Add([]byte(`{"@id":"a","operated_by":{"@id":"airline:CA","@type":"Airline"}}`))
+	f.Add([]byte(`{"n":42,"f":0.5,"b":true,"z":null,"mixed":[1,"two"]}`))
+	f.Add([]byte(`{"@id":"dup","k":"first","k":"second"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte{0xFF, 0xFE, '{', '}'})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var d Document
+		if err := json.Unmarshal(b, &d); err != nil {
+			return // malformed input must only ever yield an error
+		}
+		first, err := json.Marshal(&d)
+		if err != nil {
+			t.Fatalf("marshal of parsed document failed: %v", err)
+		}
+		var d2 Document
+		if err := json.Unmarshal(first, &d2); err != nil {
+			t.Fatalf("re-parse of marshalled document failed: %v\n%s", err, first)
+		}
+		second, err := json.Marshal(&d2)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("normal form unstable:\n first %s\nsecond %s", first, second)
+		}
+		// Accessors over arbitrary parsed content must stay total.
+		for _, k := range d.Keys() {
+			v, ok := d.Get(k)
+			if !ok {
+				t.Fatalf("Keys() returned missing key %q", k)
+			}
+			_ = v.String()
+			_ = v.Strings()
+			_ = v.IsZero()
+		}
+	})
+}

@@ -38,13 +38,18 @@ func (a *arena) appendVec(v Vector) {
 }
 
 // grow reserves room for n more vectors, so a batch append reallocates the
-// backing array at most once (the Store.AddEmbeddedBatch contract).
+// backing array at most once (the Store.AddEmbeddedBatch contract). The
+// reservation takes geometric headroom: repeated batch appends to one index —
+// the WAL replay path feeds thousands of single-group records into the same
+// store — must amortise to O(total), not recopy the whole arena per batch.
+// Exact-size growth here was quadratic. Snapshot clones clip capacity
+// (cloneForAppend), so published snapshots never expose the spare room.
 func (a *arena) grow(n int) {
 	need := len(a.data) + n*a.dim
 	if need <= cap(a.data) {
 		return
 	}
-	grown := make([]float32, len(a.data), need)
+	grown := make([]float32, len(a.data), max(need, len(a.data)+len(a.data)/2))
 	copy(grown, a.data)
 	a.data = grown
 }

@@ -239,6 +239,14 @@ func (ix *Index) CloneForAppend() Store {
 	return clone
 }
 
+// ForEachEmbedded visits every chunk with its arena vector, in insertion
+// order. Vectors alias the arena; callers must treat them as read-only.
+func (ix *Index) ForEachEmbedded(fn func(c Chunk, v Vector)) {
+	for i := range ix.chunks {
+		fn(ix.chunks[i], ix.arena.at(i))
+	}
+}
+
 // Len returns the number of indexed chunks.
 func (ix *Index) Len() int { return len(ix.chunks) }
 

@@ -49,6 +49,13 @@ type Store interface {
 	// arrays with clipped capacities, so appends to the clone never mutate
 	// the receiver (a published, read-only snapshot).
 	CloneForAppend() Store
+	// ForEachEmbedded visits every chunk with its stored embedding, in a
+	// deterministic order that re-inserting through AddEmbedded reproduces
+	// (flat insertion order for the Index; shard by shard for Sharded, which
+	// routes by chunk ID and so re-partitions identically). The durability
+	// checkpoint serializes stores through it. Vectors alias internal
+	// storage and must not be mutated.
+	ForEachEmbedded(fn func(c Chunk, v Vector))
 }
 
 // Options configures New.

@@ -109,6 +109,16 @@ func (s *Sharded) CloneForAppend() Store {
 	return clone
 }
 
+// ForEachEmbedded visits every chunk with its stored vector, shard by shard
+// in shard order. Re-inserting the sequence through AddEmbedded routes every
+// chunk back to its original shard (routing hashes only the chunk ID), so the
+// enumeration order is reproduced exactly after a decode round-trip.
+func (s *Sharded) ForEachEmbedded(fn func(c Chunk, v Vector)) {
+	for _, sh := range s.shards {
+		sh.ForEachEmbedded(fn)
+	}
+}
+
 // Len returns the number of indexed chunks across all shards.
 func (s *Sharded) Len() int {
 	n := 0

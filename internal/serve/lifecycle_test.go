@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"multirag"
+)
+
+// lifecycleQueries exercises every intent against the case-study corpus; the
+// restart-resume test demands bit-identical answers across a shutdown.
+var lifecycleQueries = []string{
+	"What is the status of CA981?",
+	"What is the delay reason of CA981?",
+	"Do CA981 and MU588 have the same status?",
+	"Anything new about CA981 today",
+}
+
+func TestDrainRejectsWithRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// Healthy first: requests succeed, probe passes.
+	resp, _ := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "What is the status of CA981?"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain query status = %d", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain health status = %d", resp.StatusCode)
+	}
+
+	s.Drain()
+	if !s.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	for _, tc := range []struct {
+		path string
+		body any
+	}{
+		{"/v1/query", QueryRequest{Query: "What is the status of CA981?"}},
+		{"/v1/query/batch", BatchRequest{Queries: []string{"What is the status of CA981?"}}},
+		{"/v1/ingest", IngestRequest{Files: []IngestFile{{Domain: "d", Source: "s", Name: "n", Format: "text", Content: "x"}}}},
+	} {
+		resp, body := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s while draining: status = %d body = %s", tc.path, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s while draining: no Retry-After header", tc.path)
+		}
+	}
+	// The health probe fails so load balancers stop routing here.
+	if resp, _ := getJSON(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("health while draining: status = %d", resp.StatusCode)
+	}
+	// Reads that don't enqueue work keep serving (operators watch the drain).
+	if resp, _ := getJSON(t, ts.URL+"/v1/metrics"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics while draining: status = %d", resp.StatusCode)
+	}
+}
+
+func TestShedResponsesCarryRetryAfter(t *testing.T) {
+	// Zero-burst interactive class: the very first query is shed with 429.
+	_, ts := newTestServer(t, Config{Classes: []Class{
+		{Name: "interactive", Rate: 0.0001, Burst: 0.0001},
+	}})
+	resp, _ := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "What is the status of CA981?"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate query status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+}
+
+// TestCloseWaitsForExecutors pins the goroutine-leak fix: Close must not
+// return while an executor still runs a batch, so a durable System can be
+// closed immediately afterwards without racing in-flight query work.
+func TestCloseWaitsForExecutors(t *testing.T) {
+	s, ts := newTestServer(t, Config{Executors: 3})
+	done := make(chan struct{})
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "What is the status of CA981?"})
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("in-flight query status = %d", resp.StatusCode)
+		}
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the request reach the queue
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		s.Close() // idempotent
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return; executors not draining")
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+}
+
+// TestServeRestartResume is the end-to-end shutdown contract: ingest over
+// HTTP into a durable system, drain + close + System.Close (the SIGTERM
+// path), restart both layers from the same directory, and require the full
+// query sweep to produce bit-identical answers with zero lost batches.
+func TestServeRestartResume(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+
+	sys, info, err := multirag.OpenDurable(dir, multirag.Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	srv, err := New(Config{System: sys})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	if info.CheckpointLSN != 0 || info.RecordsReplayed != 0 {
+		t.Fatalf("fresh dir reported recovery: %+v", info)
+	}
+
+	// Ingest the corpus over the real HTTP path, one acknowledged batch per
+	// file: every 200 is a durability promise the restart must keep.
+	for _, f := range corpusFiles() {
+		req := IngestRequest{Files: []IngestFile{{
+			Domain: f.Domain, Source: f.Source, Name: f.Name,
+			Format: f.Format, Content: string(f.Content),
+		}}}
+		resp, body := postJSON(t, ts.URL+"/v1/ingest", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %s: status %d body %s", f.Name, resp.StatusCode, body)
+		}
+	}
+	before := askAll(t, ts.URL)
+	statsBefore := sys.Stats()
+
+	// SIGTERM sequence: drain, stop HTTP, stop executors, flush state.
+	srv.Drain()
+	ts.Close()
+	srv.Close()
+	if err := sys.Close(); err != nil {
+		t.Fatalf("System.Close: %v", err)
+	}
+
+	// Restart from the same directory.
+	sys2, info2, err := multirag.OpenDurable(dir, multirag.Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer sys2.Close()
+	if info2.CheckpointLSN == 0 || info2.RecordsReplayed != 0 || info2.Truncated {
+		t.Fatalf("clean restart recovery = %+v, want checkpoint-only", info2)
+	}
+	srv2, err := New(Config{System: sys2})
+	if err != nil {
+		t.Fatalf("serve.New after restart: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() { ts2.Close(); srv2.Close() }()
+
+	statsAfter := sys2.Stats()
+	if statsBefore.Entities != statsAfter.Entities ||
+		statsBefore.Triples != statsAfter.Triples ||
+		statsBefore.HomologousNodes != statsAfter.HomologousNodes ||
+		statsBefore.IsolatedClaims != statsAfter.IsolatedClaims ||
+		statsBefore.Chunks != statsAfter.Chunks {
+		t.Fatalf("corpus stats changed across restart:\n before %+v\n after  %+v", statsBefore, statsAfter)
+	}
+	after := askAll(t, ts2.URL)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("answers diverged across restart:\n before %+v\n after  %+v", before, after)
+	}
+}
+
+// askAll runs the query sweep over HTTP and returns the decoded answers.
+func askAll(t *testing.T, base string) []multirag.Answer {
+	t.Helper()
+	out := make([]multirag.Answer, len(lifecycleQueries))
+	for i, q := range lifecycleQueries {
+		resp, body := postJSON(t, base+"/v1/query", QueryRequest{Query: q})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %q: status %d body %s", q, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &out[i]); err != nil {
+			t.Fatalf("query %q: decode: %v", q, err)
+		}
+	}
+	return out
+}

@@ -20,13 +20,25 @@
 // ingest requests are additionally rejected with 429 while the group
 // committer's admission window (core.IngestPressure) is saturated — the
 // serving layer's backpressure is wired into the ingest pipeline's rather
-// than layered blindly on top of it.
+// than layered blindly on top of it. Every shed response carries a
+// Retry-After hint so well-behaved clients back off instead of hammering.
+//
+// Shutdown is two-phase: Drain flips the server into draining — new work is
+// rejected with 503 + Retry-After and the health endpoint fails so load
+// balancers stop routing here — while queued and in-flight requests finish
+// normally; Close then rejects whatever is still queued, stops the batch
+// executors and waits for them to exit, so by the time Close returns no
+// executor goroutine can touch the engine again and the caller may safely
+// flush and close a durable System underneath.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"multirag"
@@ -100,6 +112,13 @@ type Server struct {
 	// System.IngestPressure (overridable by tests to force saturation).
 	pressure func() (inflight, capacity int)
 	mux      *http.ServeMux
+
+	// draining rejects new work with 503 + Retry-After once set (Drain /
+	// Close); executors keeps Close honest — it waits until every executor
+	// goroutine has exited before returning.
+	draining  atomic.Bool
+	executors sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // New validates cfg, starts the batch executors and returns the server.
@@ -169,6 +188,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.metrics = newMetrics(order)
 	s.sched = newScheduler(cfg.Policy, states, cfg.MaxBatch)
+	s.executors.Add(cfg.Executors)
 	for i := 0; i < cfg.Executors; i++ {
 		go s.executorLoop()
 	}
@@ -187,9 +207,27 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close rejects all queued requests and stops the executors. In-flight
-// batches complete and deliver their answers.
-func (s *Server) Close() { s.sched.close() }
+// Drain flips the server into draining: every subsequent request is rejected
+// with 503 + Retry-After and /healthz starts failing, while queued and
+// in-flight work completes normally. The graceful-shutdown sequence is
+// Drain → http.Server.Shutdown (in-flight handlers finish) → Close →
+// System.Close (final checkpoint).
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain or Close has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains the server, rejects all queued requests, stops the executors
+// and waits for them to exit. In-flight batches complete and deliver their
+// answers before Close returns, so afterwards nothing touches the engine —
+// the caller may close a durable System underneath. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.sched.close()
+		s.executors.Wait()
+	})
+}
 
 // Metrics returns the current metrics snapshot (the /v1/metrics payload).
 func (s *Server) Metrics() MetricsSnapshot {
@@ -203,6 +241,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 // engine's batch entry point; every answer in the batch evaluates against
 // one published snapshot.
 func (s *Server) executorLoop() {
+	defer s.executors.Done()
 	for {
 		batch, ok := s.sched.next()
 		if !ok {
@@ -270,6 +309,9 @@ type ErrorResponse struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.shedDraining(w) {
+		return
+	}
 	var req QueryRequest
 	if !s.readPost(w, r, &req) {
 		return
@@ -284,30 +326,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if !cs.bucket.take(1, time.Now()) {
 		s.metrics.rejectAdmission(cs.cfg.Name)
-		writeError(w, http.StatusTooManyRequests,
+		writeShed(w, http.StatusTooManyRequests,
 			fmt.Sprintf("admission: class %q over rate", cs.cfg.Name))
 		return
 	}
 	rq := &request{query: req.Query, class: cs, cost: EstimateCost(req.Query), done: make(chan answerResult, 1)}
 	if err := s.sched.enqueue(rq); err != nil {
 		s.metrics.rejectQueue(cs.cfg.Name)
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeShed(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
 	res, ok := s.await(rq)
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable,
+		writeShed(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("queue timeout: class %q waited over %v", cs.cfg.Name, s.queueTimeout))
 		return
 	}
 	if res.err != nil {
-		writeError(w, http.StatusServiceUnavailable, res.err.Error())
+		writeShed(w, http.StatusServiceUnavailable, res.err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, res.answer)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.shedDraining(w) {
+		return
+	}
 	var req BatchRequest
 	if !s.readPost(w, r, &req) {
 		return
@@ -322,7 +367,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if !cs.bucket.take(float64(len(req.Queries)), time.Now()) {
 		s.metrics.rejectAdmission(cs.cfg.Name)
-		writeError(w, http.StatusTooManyRequests,
+		writeShed(w, http.StatusTooManyRequests,
 			fmt.Sprintf("admission: class %q over rate", cs.cfg.Name))
 		return
 	}
@@ -332,19 +377,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.sched.enqueueAll(rqs); err != nil {
 		s.metrics.rejectQueue(cs.cfg.Name)
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeShed(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
 	resp := BatchResponse{Answers: make([]multirag.Answer, len(rqs))}
 	for i, rq := range rqs {
 		res, ok := s.await(rq)
 		if !ok {
-			writeError(w, http.StatusServiceUnavailable,
+			writeShed(w, http.StatusServiceUnavailable,
 				fmt.Sprintf("queue timeout: class %q waited over %v", cs.cfg.Name, s.queueTimeout))
 			return
 		}
 		if res.err != nil {
-			writeError(w, http.StatusServiceUnavailable, res.err.Error())
+			writeShed(w, http.StatusServiceUnavailable, res.err.Error())
 			return
 		}
 		resp.Answers[i] = res.answer
@@ -375,6 +420,9 @@ func (s *Server) await(rq *request) (answerResult, bool) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.shedDraining(w) {
+		return
+	}
 	var req IngestRequest
 	if !s.readPost(w, r, &req) {
 		return
@@ -386,7 +434,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	cs := s.ingestClass
 	if !cs.bucket.take(float64(len(req.Files)), time.Now()) {
 		s.metrics.rejectAdmission(cs.cfg.Name)
-		writeError(w, http.StatusTooManyRequests, `admission: class "ingest" over rate`)
+		writeShed(w, http.StatusTooManyRequests, `admission: class "ingest" over rate`)
 		return
 	}
 	// Backpressure coupling: when the group committer's bounded admission
@@ -394,7 +442,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// condvar — shed at the front door instead and let the client retry.
 	if inflight, capacity := s.pressure(); inflight >= capacity {
 		s.metrics.rejectQueue(cs.cfg.Name)
-		writeError(w, http.StatusTooManyRequests,
+		writeShed(w, http.StatusTooManyRequests,
 			fmt.Sprintf("ingest pipeline at capacity (%d/%d batches in flight)", inflight, capacity))
 		return
 	}
@@ -432,6 +480,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// Fail the probe so load balancers stop routing here while in-flight
+		// work finishes.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ok": false, "draining": true})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
@@ -472,4 +526,28 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+// retryAfterSeconds is the backoff hint attached to every shed response
+// (admission, full queue, queue timeout, pipeline saturation, draining).
+// Overload here is transient — a committed group or a drained queue frees
+// capacity within, at worst, the queue timeout — so the hint is short and
+// clients honouring it converge instead of thundering.
+const retryAfterSeconds = 1
+
+// writeShed rejects a request for load or lifecycle reasons: the response
+// carries a Retry-After so clients know the condition is retryable, unlike a
+// 400/405 which is not.
+func writeShed(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+// shedDraining answers true and writes the 503 when the server is draining.
+func (s *Server) shedDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	writeShed(w, http.StatusServiceUnavailable, "server draining for shutdown")
+	return true
 }

@@ -1,0 +1,207 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoder builds a binary payload (WAL record or checkpoint body) from
+// primitive fields. The format is plain little-endian with uvarint lengths —
+// no reflection, no per-field allocation — and is decoded by Decoder below.
+// The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload. The slice aliases the encoder's buffer;
+// callers must finish with it before reusing the encoder.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the encoded size so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the encoded payload, keeping the buffer for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Int appends a non-negative int as a uvarint (counts, lengths, handles).
+func (e *Encoder) Int(v int) { e.Uvarint(uint64(v)) }
+
+// Int32 appends a signed int32 as a zigzag varint (entity handles may be -1).
+func (e *Encoder) Int32(v int32) { e.buf = binary.AppendVarint(e.buf, int64(v)) }
+
+// Bool appends a single 0/1 byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// F64 appends a float64 as its IEEE-754 bits, little-endian.
+func (e *Encoder) F64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// String appends a uvarint length followed by the raw bytes.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// F32s appends a uvarint count followed by the raw little-endian bits of each
+// element — the vector-arena wire form (stride stays implicit; the caller
+// validates widths on decode).
+func (e *Encoder) F32s(v []float32) {
+	e.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, math.Float32bits(x))
+	}
+}
+
+// Decoder reads back an Encoder payload. Errors latch: the first malformed
+// field poisons the decoder, every later read returns the zero value, and the
+// caller checks Err once at the end — the discipline that keeps the decode
+// call sites linear. All lengths are validated against the remaining input
+// before any allocation, so a corrupt (or fuzzed) payload can never provoke a
+// huge make() or an out-of-bounds read.
+type Decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over b. The decoder aliases b; callers must
+// not mutate it while decoding.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns how many undecoded bytes are left.
+func (d *Decoder) Remaining() int { return len(d.b) - d.off }
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: decode: "+format, args...)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads a non-negative int written by Encoder.Int, rejecting values that
+// overflow the platform int.
+func (d *Decoder) Int() int {
+	v := d.Uvarint()
+	if v > math.MaxInt32 { // counts/handles: anything larger is corruption
+		d.fail("count %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Int32 reads a zigzag varint written by Encoder.Int32.
+func (d *Decoder) Int32() int32 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 || v < math.MinInt32 || v > math.MaxInt32 {
+		d.fail("bad int32 at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return int32(v)
+}
+
+// Bool reads a 0/1 byte.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated bool")
+		return false
+	}
+	c := d.b[d.off]
+	d.off++
+	if c > 1 {
+		d.fail("bad bool byte %d", c)
+		return false
+	}
+	return c == 1
+}
+
+// F64 reads a little-endian float64.
+func (d *Decoder) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 8 {
+		d.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail("string length %d exceeds %d remaining bytes", n, d.Remaining())
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// F32s reads a count-prefixed float32 slice.
+func (d *Decoder) F32s() []float32 {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n*4 > uint64(d.Remaining()) {
+		d.fail("float32 count %d exceeds %d remaining bytes", n, d.Remaining())
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.b[d.off:]))
+		d.off += 4
+	}
+	return out
+}
+
+// Finish reports decode success: no latched error and no trailing garbage.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("wal: decode: %d trailing bytes", len(d.b)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// datasync flushes f's written data plus the metadata required to read it
+// back (the file size, when an append grew the file) without forcing the
+// inode timestamp writeback a full fsync also pays. That is exactly the
+// durability point a log append needs, and it is measurably cheaper on ext4.
+func datasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

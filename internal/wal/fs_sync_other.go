@@ -1,0 +1,8 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// datasync falls back to a full fsync on platforms without fdatasync.
+func datasync(f *os.File) error { return f.Sync() }

@@ -1,0 +1,53 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Record frame: [len uint32 LE][crc32c(payload) uint32 LE][payload]. The
+// length bounds the payload, the CRC (Castagnoli polynomial) detects both
+// torn tails and in-place corruption; a frame that fails either check stops
+// the scan, and everything at or after it is discarded by recovery.
+
+const (
+	frameHeader = 8
+	// maxRecordSize rejects absurd length prefixes before any allocation —
+	// a torn or flipped length byte must not provoke a multi-GB make().
+	maxRecordSize = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one framed record to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// parseFrames splits b into valid record payloads. It returns the payloads,
+// the byte length of the valid prefix, and whether anything after that prefix
+// was discarded (a torn tail or a corrupt frame). Payloads alias b.
+func parseFrames(b []byte) (payloads [][]byte, cleanLen int, clean bool) {
+	off := 0
+	for {
+		rest := b[off:]
+		if len(rest) == 0 {
+			return payloads, off, true
+		}
+		if len(rest) < frameHeader {
+			return payloads, off, false
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		if n > maxRecordSize || int(n) > len(rest)-frameHeader {
+			return payloads, off, false
+		}
+		payload := rest[frameHeader : frameHeader+int(n)]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:]) {
+			return payloads, off, false
+		}
+		payloads = append(payloads, payload)
+		off += frameHeader + int(n)
+	}
+}

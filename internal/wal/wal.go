@@ -1,0 +1,24 @@
+// Package wal is the durability substrate of a MultiRAG deployment: a
+// length-prefixed, CRC32C-checksummed, fsync-on-group-commit record log plus
+// an atomically-renamed checkpoint file format, both written through a small
+// filesystem seam (FS) so the crash matrix in the recovery tests can inject
+// torn writes, bit flips, fsync failures and crashes at every byte offset
+// without touching a real disk.
+//
+// The log is segmented: records carry monotonically increasing log sequence
+// numbers (LSNs, a plain record count since genesis) and live in segment
+// files named wal-<first-LSN>.log. A checkpoint serializes one published
+// snapshot as of LSN n into checkpoint-<n>.ckpt via the classic
+// tmp + fsync + rename + dir-fsync discipline; the checkpointer rotates the
+// log to a fresh segment at n first, so every segment below n is fully
+// covered by the checkpoint and deletable. Recovery loads the newest
+// CRC-valid checkpoint, replays every valid record after it in LSN order and
+// truncates the log at the first invalid record (a torn tail from a crashed
+// append, or a corrupt frame), which restores exactly the last
+// durably-committed prefix of the commit history.
+//
+// The record payload format is owned by the callers (internal/core encodes
+// one commit group per record; the snapshot serializers in internal/kg,
+// internal/linegraph and internal/retrieval encode the checkpoint body) via
+// the shared Encoder/Decoder in codec.go.
+package wal

@@ -132,8 +132,53 @@ type System struct {
 	inner *core.System
 }
 
-// Open creates a System from cfg.
+// Open creates an in-memory System from cfg. State lives only in the
+// process; use OpenDurable for a deployment that survives restarts.
 func Open(cfg Config) *System {
+	return &System{inner: core.NewSystem(coreConfig(cfg))}
+}
+
+// RecoveryInfo summarises what OpenDurable found on disk.
+type RecoveryInfo struct {
+	// CheckpointLSN is the WAL position covered by the checkpoint that seeded
+	// the state (0 when the system started from scratch).
+	CheckpointLSN uint64
+	// RecordsReplayed is how many write-ahead-log records were replayed on
+	// top of the checkpoint.
+	RecordsReplayed int
+	// Truncated reports that a torn or corrupt record was found at the log
+	// tail and discarded — the signature of a crash mid-commit; the affected
+	// batch was never acknowledged.
+	Truncated bool
+}
+
+// OpenDurable opens (or initialises) a durable System backed by dir: every
+// acknowledged IngestFiles batch is written to a write-ahead log and fsync'd
+// before the call returns, and a background checkpointer periodically folds
+// the log into a snapshot. On open, the newest valid checkpoint is loaded and
+// the WAL tail replayed on top of it, so the corpus resumes exactly where the
+// previous process — cleanly shut down or crashed — left it. The caller must
+// Close the system to take the final checkpoint.
+func OpenDurable(dir string, cfg Config) (*System, RecoveryInfo, error) {
+	inner, info, err := core.Open(dir, coreConfig(cfg))
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	return &System{inner: inner}, RecoveryInfo{
+		CheckpointLSN:   info.CheckpointLSN,
+		RecordsReplayed: info.RecordsReplayed,
+		Truncated:       info.Truncated,
+	}, nil
+}
+
+// Close flushes a durable System: it stops the background checkpointer,
+// writes a final checkpoint (so the next OpenDurable recovers from the
+// snapshot alone) and closes the log. On an in-memory System it is a no-op.
+// Close is idempotent; ingests racing Close fail without being acknowledged.
+func (s *System) Close() error { return s.inner.Close() }
+
+// coreConfig maps the public configuration onto the engine's.
+func coreConfig(cfg Config) core.Config {
 	mcc := confidence.DefaultConfig()
 	if cfg.Alpha != 0 {
 		mcc.Alpha = cfg.Alpha
@@ -151,7 +196,7 @@ func Open(cfg Config) *System {
 	if cfg.Seed != 0 {
 		llmCfg.Seed = cfg.Seed
 	}
-	return &System{inner: core.NewSystem(core.Config{
+	return core.Config{
 		LLM:             llmCfg,
 		MCC:             mcc,
 		DisableMKA:      cfg.DisableMKA,
@@ -167,7 +212,7 @@ func Open(cfg Config) *System {
 			DisableGraphLevel: cfg.DisableGraphLevel,
 			DisableNodeLevel:  cfg.DisableNodeLevel,
 		},
-	})}
+	}
 }
 
 // IngestFiles adapts, fuses and indexes the given files, extending the
