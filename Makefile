@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_SCALE ?= 0.12
 
-.PHONY: check vet build test race fuzz-smoke bench bench-retrieval bench-ann bench-graph bench-query bench-ingest bench-serve bench-wal clean
+.PHONY: check vet build test race chaos fuzz-smoke bench bench-retrieval bench-ann bench-graph bench-query bench-ingest bench-serve bench-wal clean
 
 # check is the CI entry point: static analysis, full build, race-enabled
 # tests, and a short fuzz pass over the crash-surface decoders.
@@ -18,6 +18,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the fault-injection grid under the race detector: named
+# injection points (LLM calls, evidence gathering, retrieval scans, commit,
+# WAL append, batch execution) crossed with fault kinds (latency, error,
+# hang-until-cancel, panic) over concurrent query + ingest load, asserting no
+# deadlock, no goroutine leak, no torn snapshot and byte-identical WAL
+# recovery. -count=1 keeps it uncached so CI always exercises the grid.
+chaos:
+	$(GO) test -race -count=1 -run '^TestChaos' ./internal/core ./internal/serve ./internal/fault
 
 # fuzz-smoke runs each committed fuzz target briefly on top of its seed
 # corpus (testdata/fuzz): the WAL frame parser and field decoder — the code

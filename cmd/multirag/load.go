@@ -63,19 +63,19 @@ func loadClient(conns int) *http.Client {
 	}}
 }
 
-// postStatus POSTs one JSON body and returns the HTTP status plus the
-// server's Retry-After hint in seconds (0 when absent), draining the
-// response so the connection is reusable.
-func postStatus(client *http.Client, url string, body any) (int, time.Duration, error) {
+// postStatus POSTs one JSON body and returns the HTTP status, the server's
+// Retry-After hint in seconds (0 when absent) and the response body, fully
+// read so the connection is reusable.
+func postStatus(client *http.Client, url string, body any) (int, time.Duration, []byte, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
+	respBody, _ := io.ReadAll(resp.Body)
 	_ = resp.Body.Close()
 	var retryAfter time.Duration
 	if s := resp.Header.Get("Retry-After"); s != "" {
@@ -83,7 +83,7 @@ func postStatus(client *http.Client, url string, body any) (int, time.Duration, 
 			retryAfter = time.Duration(secs) * time.Second
 		}
 	}
-	return resp.StatusCode, retryAfter, nil
+	return resp.StatusCode, retryAfter, respBody, nil
 }
 
 // fetchMetrics reads the server's /v1/metrics snapshot.
@@ -100,28 +100,61 @@ func fetchMetrics(client *http.Client, base string) (serve.MetricsSnapshot, erro
 	return snap, json.NewDecoder(resp.Body).Decode(&snap)
 }
 
-// loadOutcome classifies one request of a load run.
+// loadOutcome classifies one request of a load run. Degraded answers,
+// deadline expiries and cancellations are soft outcomes — the server behaved
+// as designed under pressure — reported separately from hard failures
+// (transport errors, unexpected statuses).
 type loadOutcome int32
 
 const (
 	outcomeOK loadOutcome = iota
-	outcomeRejected
-	outcomeTimedOut
-	outcomeError
+	outcomeDegraded // 200 with Answer.Degraded: partial answer delivered
+	outcomeRejected // 429: admission or queue bound
+	outcomeTimedOut // 503: queue timeout / draining / canceled
+	outcomeDeadline // 504: end-to-end deadline exceeded
+	outcomeError    // transport failure or unexpected status
 )
 
-func classify(status int, err error) loadOutcome {
+func classify(status int, body []byte, err error) loadOutcome {
 	switch {
 	case err != nil:
 		return outcomeError
 	case status == http.StatusOK:
+		var ans struct{ Degraded bool }
+		if json.Unmarshal(body, &ans) == nil && ans.Degraded {
+			return outcomeDegraded
+		}
 		return outcomeOK
 	case status == http.StatusTooManyRequests:
 		return outcomeRejected
 	case status == http.StatusServiceUnavailable:
 		return outcomeTimedOut
+	case status == http.StatusGatewayTimeout:
+		return outcomeDeadline
 	default:
 		return outcomeError
+	}
+}
+
+// maxQueryRetries bounds how often a shed query (a response carrying
+// Retry-After) is retried before its outcome is recorded as-is.
+const maxQueryRetries = 2
+
+// postQuery runs one query request, honoring the server's Retry-After hint
+// on shed responses: a 429/503 that carries the hint is retried after
+// sleeping it out (bounded by maxQueryRetries), so well-behaved backoff is
+// what the harness measures — the sleeps land in the request's latency, not
+// outside it. Each retry increments retries.
+func postQuery(client *http.Client, url string, req serve.QueryRequest, retries *atomic.Int64) loadOutcome {
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, body, err := postStatus(client, url, req)
+		oc := classify(status, body, err)
+		if (oc != outcomeRejected && oc != outcomeTimedOut) ||
+			retryAfter <= 0 || attempt >= maxQueryRetries {
+			return oc
+		}
+		retries.Add(1)
+		time.Sleep(retryAfter)
 	}
 }
 
@@ -137,7 +170,7 @@ func classify(status int, err error) loadOutcome {
 // shows up in the tail instead of being hidden. The report states offered
 // vs. achieved rate so a harness that could not sustain the offered rate is
 // visible rather than silently degraded.
-func runLoad(sys *multirag.System, queries []string, qps float64, workers int, target, policy, class string) {
+func runLoad(sys *multirag.System, queries []string, qps float64, workers int, target, policy, class string, deadline time.Duration) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -149,17 +182,19 @@ func runLoad(sys *multirag.System, queries []string, qps float64, workers int, t
 	}
 	client := loadClient(workers)
 	url := base + "/v1/query"
+	deadlineMillis := int64(deadline / time.Millisecond)
 
 	n := len(queries)
 	lat := make([]time.Duration, n)
 	outcomes := make([]loadOutcome, n)
+	var shedRetries atomic.Int64
 	start := time.Now()
 	if qps <= 0 {
 		par.ForEach(workers, n, func(i int) {
 			t0 := time.Now()
-			status, _, err := postStatus(client, url, serve.QueryRequest{Query: queries[i], Class: class})
+			outcomes[i] = postQuery(client, url,
+				serve.QueryRequest{Query: queries[i], Class: class, DeadlineMillis: deadlineMillis}, &shedRetries)
 			lat[i] = time.Since(t0)
-			outcomes[i] = classify(status, err)
 		})
 	} else {
 		interval := time.Duration(float64(time.Second) / qps)
@@ -171,11 +206,11 @@ func runLoad(sys *multirag.System, queries []string, qps float64, workers int, t
 				if d := time.Until(sched); d > 0 {
 					time.Sleep(d)
 				}
-				status, _, err := postStatus(client, url, serve.QueryRequest{Query: queries[i], Class: class})
+				outcomes[i] = postQuery(client, url,
+					serve.QueryRequest{Query: queries[i], Class: class, DeadlineMillis: deadlineMillis}, &shedRetries)
 				// Latency from the scheduled instant: queueing delay the
 				// system caused — including launch lateness — counts.
 				lat[i] = time.Since(sched)
-				outcomes[i] = classify(status, err)
 			}(i, start.Add(time.Duration(i)*interval))
 		}
 		wg.Wait()
@@ -197,6 +232,9 @@ func runLoad(sys *multirag.System, queries []string, qps float64, workers int, t
 	}
 	fmt.Printf("load test: %d requests over HTTP (%s), %s, %d workers, policy %s, class %s\n",
 		n, base, mode, workers, policy, class)
+	if deadline > 0 {
+		fmt.Printf("  deadline: %v per request (deadline_ms)\n", deadline)
+	}
 	achieved := float64(n) / total.Seconds()
 	if qps > 0 {
 		fmt.Printf("  rate: offered %.0f qps, achieved %.0f qps (%.1f%%) in %v\n",
@@ -204,8 +242,9 @@ func runLoad(sys *multirag.System, queries []string, qps float64, workers int, t
 	} else {
 		fmt.Printf("  throughput: %.0f qps achieved in %v\n", achieved, total.Round(time.Millisecond))
 	}
-	fmt.Printf("  outcomes: %d ok, %d rejected (429), %d timed out (503), %d errors\n",
-		counts[outcomeOK], counts[outcomeRejected], counts[outcomeTimedOut], counts[outcomeError])
+	fmt.Printf("  outcomes: %d ok, %d degraded (200 partial), %d rejected (429), %d timed out (503), %d deadline exceeded (504), %d errors; %d shed retries honored Retry-After\n",
+		counts[outcomeOK], counts[outcomeDegraded], counts[outcomeRejected],
+		counts[outcomeTimedOut], counts[outcomeDeadline], counts[outcomeError], shedRetries.Load())
 	if len(okLat) > 0 {
 		qs := serve.Quantiles(okLat, 0.50, 0.95, 0.99, 1)
 		fmt.Printf("  latency: p50 %v  p95 %v  p99 %v  max %v\n",
@@ -246,7 +285,7 @@ func ingestRetryDelay(attempt int, retryAfter time.Duration) time.Duration {
 // which abort the whole run.
 func postIngest(client *http.Client, url string, req serve.IngestRequest, stop *atomic.Bool, r429, r503 *atomic.Int64) (bool, error) {
 	for attempt := 0; ; attempt++ {
-		status, retryAfter, err := postStatus(client, url, req)
+		status, retryAfter, _, err := postStatus(client, url, req)
 		switch {
 		case err != nil:
 			return false, err
@@ -390,12 +429,23 @@ func printServerView(client *http.Client, base string) {
 	}
 	fmt.Printf("  server view (policy %s, Jain fairness %.3f):\n", snap.Policy, snap.JainFairness)
 	for _, c := range snap.Classes {
-		if c.Completed+c.RejectedAdmission+c.RejectedQueue+c.TimedOut+c.Failed == 0 {
+		if c.Completed+c.RejectedAdmission+c.RejectedQueue+c.TimedOut+c.Failed+
+			c.DeadlineExceeded+c.Canceled == 0 {
 			continue
 		}
-		fmt.Printf("    %-12s %6d ok  %4d rejected  %4d timeout  p50 %s  p95 %s  p99 %s\n",
-			c.Name, c.Completed, c.RejectedAdmission+c.RejectedQueue, c.TimedOut,
+		fmt.Printf("    %-12s %6d ok (%d degraded)  %4d rejected  %4d timeout  %4d deadline  %4d canceled  p50 %s  p95 %s  p99 %s\n",
+			c.Name, c.Completed, c.Degraded, c.RejectedAdmission+c.RejectedQueue, c.TimedOut,
+			c.DeadlineExceeded, c.Canceled,
 			fmtMicros(c.P50Micros), fmtMicros(c.P95Micros), fmtMicros(c.P99Micros))
+	}
+	for _, b := range snap.Breakers {
+		if b.Trips > 0 || b.State != "closed" {
+			fmt.Printf("    breaker %-14s state=%s trips=%d fast-fails=%d\n",
+				b.Name, b.State, b.Trips, b.FastFails)
+		}
+	}
+	if snap.Durability.Durable && snap.Durability.WALAppendErr != "" {
+		fmt.Printf("    durability: WAL append latched: %s\n", snap.Durability.WALAppendErr)
 	}
 }
 

@@ -14,6 +14,7 @@
 //	multirag recover -data-dir /var/lib/multirag # inspect/compact a durable directory offline
 //	multirag -demo -load 2000               # closed-loop HTTP latency test (p50/p95/p99)
 //	multirag -demo -load 2000 -qps 500      # open-loop at a target arrival rate
+//	multirag -demo -load 2000 -deadline 50ms     # per-request end-to-end deadline (deadline_ms)
 //	multirag -demo -load 2000 -target http://host:8473   # aim at a running server
 //	multirag -ingest-load 500 -producers 4          # pipelined ingest load test over HTTP
 //	multirag -ingest-load 500 -producers 4 -serial-ingest   # serialized baseline
@@ -68,6 +69,7 @@ func main() {
 		retr    = flag.String("retrieve", "", "retrieve supporting documents for a query")
 		load    = flag.Int("load", 0, "run an HTTP query load test of this many requests (0 = off)")
 		qps     = flag.Float64("qps", 0, "offered arrival rate for -load (0 = closed loop at pool concurrency)")
+		dline   = flag.Duration("deadline", 0, "per-request end-to-end deadline for -load, sent as deadline_ms (0 = none)")
 		target  = flag.String("target", "", "base URL of a running `multirag serve` for -load/-ingest-load (default: in-process server)")
 		policy  = flag.String("policy", "fcfs", "batch-formation policy of the in-process load server (fcfs|sjf|priority)")
 		class   = flag.String("class", "interactive", "SLO class -load requests are tagged with")
@@ -129,7 +131,7 @@ func main() {
 
 	if *load > 0 {
 		queries := loadQueries(*load, *ask)
-		runLoad(sys, queries, *qps, *workers, *target, *policy, *class)
+		runLoad(sys, queries, *qps, *workers, *target, *policy, *class, *dline)
 	}
 
 	if *ask != "" {

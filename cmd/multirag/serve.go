@@ -40,12 +40,21 @@ Serve the ingested corpus over HTTP:
   POST /v1/query/batch  {"queries": [...], "class": "batch"}
   POST /v1/ingest       {"files": [{"domain","source","name","format","content"}, ...]}
   GET  /v1/stats        corpus statistics
-  GET  /v1/metrics      per-class p50/p95/p99 latency, Jain fairness, queue depths
-  GET  /healthz
+  GET  /v1/metrics      per-class p50/p95/p99 latency, Jain fairness, queue depths,
+                        deadline/cancel/degraded counters, breaker + durability state
+  GET  /healthz         {"status": "ok"|"degraded"|"draining", "reason": ...}
 
 SLO classes: interactive (priority 2), batch (priority 1), ingest. Excess
 load is rejected with 429 (admission or full queue) or 503 (queue timeout);
 every shed response carries a Retry-After hint.
+
+Requests run under end-to-end deadlines (-deadline, tightened per request
+with "deadline_ms"): the budget starts at admission, so queue wait spends it
+too, and client disconnects cancel evaluation mid-flight. A request whose
+budget expires mid-evaluation returns 200 with a Degraded partial answer
+(-degrade, the default) or fails with 504 (-degrade=false). Failing model
+calls trip per-stage circuit breakers (-breaker-failures, -breaker-cooldown)
+that fast-fail into degraded answers instead of hammering a broken stage.
 
 With -data-dir, acknowledged ingests are write-ahead logged and checkpointed
 so a restart resumes the exact corpus. SIGINT/SIGTERM drain gracefully:
@@ -76,21 +85,28 @@ Flags:
 		queueTimeout = fs.Duration("queue-timeout", 5*time.Second, "maximum queue wait before a request fails with 503")
 		admitQPS     = fs.Float64("admit-qps", 0, "token-bucket refill rate for the query classes, requests/s (0 = unlimited)")
 		admitBurst   = fs.Float64("admit-burst", 0, "token-bucket capacity for the query classes (0 = max(1, admit-qps))")
+		deadline     = fs.Duration("deadline", 0, "end-to-end deadline per query-class request, counted from admission (0 = none; requests may tighten it with deadline_ms)")
+		degrade      = fs.Bool("degrade", true, "deliver partial answers as 200 + degraded when a request's deadline expires mid-evaluation (false = fail with 504)")
+		brkFailures  = fs.Int("breaker-failures", 0, "consecutive model-call failures that trip a circuit breaker (0 = default)")
+		brkCooldown  = fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		fatal("serve: %v", err)
 	}
 
 	sysCfg := multirag.Config{
-		Seed:        *seed,
-		Workers:     *workers,
-		Shards:      *shards,
-		ANN:         *ann,
-		NProbe:      *nprobe,
-		ANNInt8:     *annInt8,
-		AnswerCache: *cache,
+		Seed:            *seed,
+		Workers:         *workers,
+		Shards:          *shards,
+		ANN:             *ann,
+		NProbe:          *nprobe,
+		ANNInt8:         *annInt8,
+		AnswerCache:     *cache,
+		BreakerFailures: *brkFailures,
+		BreakerCooldown: *brkCooldown,
 	}
 	var sys *multirag.System
+	var recovery *multirag.RecoveryInfo
 	if *dataDir != "" {
 		var info multirag.RecoveryInfo
 		var err error
@@ -98,6 +114,7 @@ Flags:
 		if err != nil {
 			fatal("serve: open %s: %v", *dataDir, err)
 		}
+		recovery = &info
 		fmt.Printf("multirag serve: recovered %s (checkpoint LSN %d, %d WAL records replayed%s)\n",
 			*dataDir, info.CheckpointLSN, info.RecordsReplayed,
 			map[bool]string{true: ", torn tail truncated"}[info.Truncated])
@@ -122,9 +139,10 @@ Flags:
 	srv, err := serve.New(serve.Config{
 		System:       sys,
 		Policy:       *policy,
-		Classes:      serveClasses(*admitQPS, *admitBurst, *queueCap),
+		Classes:      serveClasses(*admitQPS, *admitBurst, *queueCap, *deadline, *degrade),
 		MaxBatch:     *maxBatch,
 		QueueTimeout: *queueTimeout,
+		Recovery:     recovery,
 	})
 	if err != nil {
 		fatal("serve: %v", err)
@@ -165,17 +183,19 @@ Flags:
 	fmt.Println("multirag serve: shutdown complete (state flushed)")
 }
 
-// serveClasses is the stock SLO layout with the CLI admission knobs applied
-// to the query classes. The ingest class stays admission-unlimited: its load
-// shedding comes from the group committer's own bounded admission window,
-// surfaced as 429 by the ingest handler.
-func serveClasses(admitQPS, admitBurst float64, queueCap int) []serve.Class {
+// serveClasses is the stock SLO layout with the CLI admission, deadline and
+// degradation knobs applied to the query classes. The ingest class stays
+// admission-unlimited: its load shedding comes from the group committer's own
+// bounded admission window, surfaced as 429 by the ingest handler.
+func serveClasses(admitQPS, admitBurst float64, queueCap int, deadline time.Duration, degrade bool) []serve.Class {
 	classes := serve.DefaultClasses()
 	for i := range classes {
 		classes[i].QueueCap = queueCap
 		if classes[i].Name != serve.IngestClass {
 			classes[i].Rate = admitQPS
 			classes[i].Burst = admitBurst
+			classes[i].Deadline = deadline
+			classes[i].Degrade = degrade
 		}
 	}
 	return classes

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"multirag/internal/fault"
 	"multirag/internal/kg"
 	"multirag/internal/linegraph"
 	"multirag/internal/retrieval"
@@ -178,6 +180,20 @@ func (s *System) commitJoin(p *prepared) (IngestReport, error) {
 func (s *System) commitGroup(group []*prepared) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Chaos seam: an error here fails the whole group before any replay —
+	// nothing is acknowledged, nothing publishes, callers see the error. The
+	// commit path deliberately carries no context (a committing batch must
+	// run to a clean outcome even if its Ingest caller gave up), so hang
+	// faults release only on Disable/Reset.
+	if err := fault.Inject(context.Background(), fault.PointCommit); err != nil {
+		for _, p := range group {
+			if p.err == nil {
+				p.err = fmt.Errorf("core: commit: %w", err)
+			}
+		}
+		releaseVecs(group)
+		return
+	}
 	cur := s.snap.Load()
 	g := cur.graph.Clone()
 	ix := cur.index.CloneForAppend()

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomChaosQueries generates a seeded random workload over the full query
+// grammar — lookups, nested lookups, comparisons, fallbacks — mixing known
+// and unknown entities/relations so found, not-found and multi-truth paths
+// all appear.
+func randomChaosQueries(rng *rand.Rand, n int) []string {
+	entities := []string{"CA981", "MU588", "MU551", "PEK", "Typhoon", "Nobody"}
+	relations := []string{"status", "delay reason", "gate", "origin", "altitude"}
+	pick := func(xs []string) string { return xs[rng.Intn(len(xs))] }
+	out := make([]string, n)
+	for i := range out {
+		switch rng.Intn(4) {
+		case 0:
+			out[i] = fmt.Sprintf("What is the %s of %s?", pick(relations), pick(entities))
+		case 1:
+			out[i] = fmt.Sprintf("What is the %s of the %s of %s?",
+				pick(relations), pick(relations), pick(entities))
+		case 2:
+			out[i] = fmt.Sprintf("Do %s and %s have the same %s?",
+				pick(entities), pick(entities), pick(relations))
+		default:
+			out[i] = fmt.Sprintf("Anything new about %s today", pick(entities))
+		}
+	}
+	return out
+}
+
+// TestQueryCtxBitIdentical is the determinism pin of the cancellation work:
+// on two identically built systems, every query answered through the
+// context-aware path under a live (never-canceled, never-expiring) context
+// must be deeply equal to the context-free answer — the ctx plumbing may only
+// ever change behaviour when the context actually ends.
+func TestQueryCtxBitIdentical(t *testing.T) {
+	s1 := newCaseStudySystem(t, Config{})
+	s2 := newCaseStudySystem(t, Config{})
+	rng := rand.New(rand.NewSource(7))
+	queries := randomChaosQueries(rng, 60)
+
+	live, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i, q := range queries {
+		a := s1.Query(q)
+		b := s2.QueryCtx(live, q)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("query %d %q: QueryCtx diverged from Query\n ctx-free: %+v\n ctx:      %+v", i, q, a, b)
+		}
+	}
+
+	// Batch entry points: QueryBatchCtx with a background context delegates
+	// to QueryBatch; QueryEach with per-request live contexts must match too.
+	a := s1.QueryBatch(queries)
+	b := s2.QueryBatchCtx(context.Background(), queries)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("QueryBatchCtx(Background) diverged from QueryBatch")
+	}
+	ctxs := make([]context.Context, len(queries))
+	for i := range ctxs {
+		ctxs[i] = live
+	}
+	c := s2.QueryEach(ctxs, queries)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("QueryEach under live contexts diverged from QueryBatch")
+	}
+	d := s2.QueryEach(make([]context.Context, len(queries)), queries)
+	if !reflect.DeepEqual(a, d) {
+		t.Fatal("QueryEach with nil contexts diverged from QueryBatch")
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"multirag/internal/extract"
+	"multirag/internal/fault"
 	"multirag/internal/kg"
 	"multirag/internal/linegraph"
 	"multirag/internal/retrieval"
@@ -252,6 +254,14 @@ func (d *durable) maybeRequestCheckpoint(cfg *Config) {
 // only after its record is fsync'd, and recovery replays a record only if it
 // was fully written — the two halves of the no-lost-acks contract.
 func (d *durable) appendGroup(committed []*prepared) error {
+	// Chaos seam: an injected error here exercises the not-acknowledged path
+	// (group fails, nothing publishes) without latching the log — the
+	// distinction between a request-scoped append failure and a poisoned
+	// directory. Latch behaviour itself is driven through the MemFS OnOp hook
+	// (wal.FaultOps) so the real latch logic runs.
+	if err := fault.Inject(context.Background(), fault.PointWALAppend); err != nil {
+		return err
+	}
 	d.enc.Reset()
 	if err := encodeGroupRecord(&d.enc, committed); err != nil {
 		return err

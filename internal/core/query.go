@@ -1,15 +1,20 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"multirag/internal/confidence"
+	"multirag/internal/fault"
 	"multirag/internal/kg"
 	"multirag/internal/linegraph"
 	"multirag/internal/llm"
 	"multirag/internal/par"
+	"multirag/internal/retrieval"
 )
 
 // StageSnapshot records the candidate values visible at one MKLGP stage —
@@ -36,6 +41,14 @@ type Answer struct {
 	Stages []StageSnapshot
 	// Found reports whether any evidence was located.
 	Found bool
+	// Degraded marks a partial answer: the evaluation was cut short (deadline,
+	// cancellation, tripped breaker, injected or stage failure) and Values
+	// reflects only the arms that completed. The serving layer decides per SLO
+	// class whether a degraded answer is delivered or converted to an error.
+	Degraded bool
+	// DegradedReason names the first cause: "deadline", "canceled",
+	// "breaker-open", "panic: ..." or the stage error text.
+	DegradedReason string
 }
 
 // evidence is the outcome of one (entity, relation) sub-question — the unit
@@ -56,6 +69,10 @@ type evidence struct {
 	// no isolated authority, no chunk fallback) — the only ones the evidence
 	// memo may store without perturbing later confidence values.
 	memoable bool
+	// err records a sub-question cut short (context, breaker, injected
+	// fault). Erroring evidence carries whatever was gathered before the cut
+	// and is never memoised (memoable stays false on every early return).
+	err error
 }
 
 // arm pairs one sub-question's evidence with its deferred history credits.
@@ -74,6 +91,31 @@ func (ans *Answer) absorb(e evidence) {
 	ans.GraphConfidences = append(ans.GraphConfidences, e.gcs...)
 }
 
+// degrade marks the answer partial, keeping the first recorded reason.
+func (ans *Answer) degrade(err error) {
+	ans.Degraded = true
+	if ans.DegradedReason == "" {
+		ans.DegradedReason = degradeReason(err)
+	}
+}
+
+// degradeReason classifies a cut-short cause into the stable vocabulary the
+// serving metrics and the load harness count by.
+func degradeReason(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, fault.ErrOpen):
+		return "breaker-open"
+	case err == nil:
+		return ""
+	default:
+		return err.Error()
+	}
+}
+
 // Query executes MKLGP (Algorithm 2) for a natural-language query. It is
 // safe for unbounded concurrent use: the whole evaluation runs against one
 // immutable snapshot loaded up front, so in-flight ingestion never changes
@@ -88,33 +130,110 @@ func (s *System) Query(q string) Answer {
 	return ans
 }
 
+// QueryCtx is Query under a request context: the evaluation honors ctx at
+// every stage boundary (retrieval rows, fan-out arms, LLM calls) and a query
+// cut short returns whatever completed as a Degraded partial answer instead
+// of an error. A context that can never be canceled takes the exact Query
+// path, bit-identical to pre-context behavior.
+func (s *System) QueryCtx(ctx context.Context, q string) Answer {
+	sn := s.snap.Load()
+	if ctx.Done() == nil {
+		ans, _ := s.queryCached(sn, q)
+		return ans
+	}
+	return s.queryCtx(ctx, sn, q)
+}
+
 // queryCached evaluates q against sn, consulting the generation-keyed answer
 // cache first. It reports whether the answer came from the cache.
 func (s *System) queryCached(sn *snapshot, q string) (Answer, bool) {
 	if ans, ok := s.answers.get(sn.gen, q); ok {
 		return ans, true
 	}
-	ans := s.queryOn(sn, q)
-	s.answers.put(sn.gen, q, ans)
+	ans := s.queryOn(context.Background(), sn, q)
+	if !ans.Degraded {
+		s.answers.put(sn.gen, q, ans)
+	}
 	return ans, false
 }
 
-func (s *System) queryOn(sn *snapshot, q string) Answer {
+// queryCtx is the cancelable evaluation path: answer-cache hits still serve
+// instantly, a panic anywhere in the DAG (an injected chaos fault, or a real
+// bug under a real model API) is contained into a degraded answer instead of
+// killing the executor, and degraded or cut-short answers are never cached —
+// a later unconstrained query recomputes the full answer.
+func (s *System) queryCtx(ctx context.Context, sn *snapshot, q string) (ans Answer) {
+	if a, ok := s.answers.get(sn.gen, q); ok {
+		return a
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ans = Answer{Query: q}
+			ans.degrade(fmt.Errorf("panic: %v", r))
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		ans = Answer{Query: q}
+		ans.degrade(err)
+		return ans
+	}
+	ans = s.queryOn(ctx, sn, q)
+	if !ans.Degraded && ctx.Err() == nil {
+		s.answers.put(sn.gen, q, ans)
+	}
+	return ans
+}
+
+func (s *System) queryOn(ctx context.Context, sn *snapshot, q string) Answer {
 	lf := s.model.ParseQuery(q) // line 2: logic form generation
 	ans := Answer{Query: q, LogicForm: lf}
 	switch lf.Intent {
 	case "multi_hop":
-		s.answerMultiHop(sn, &ans)
+		s.answerMultiHop(ctx, sn, &ans)
 	case "comparison":
-		s.answerComparison(sn, &ans)
+		s.answerComparison(ctx, sn, &ans)
 	default:
 		if len(lf.Entities) > 0 && len(lf.Relations) > 0 {
-			s.answerLookup(sn, &ans, lf.Entities[0], lf.Relations[0])
+			s.answerLookup(ctx, sn, &ans, lf.Entities[0], lf.Relations[0])
 		} else {
-			s.answerFallback(sn, &ans, q)
+			s.answerFallback(ctx, sn, &ans, q)
 		}
 	}
 	return ans
+}
+
+// generate is the breaker-and-retry-guarded answer-generation call every
+// intent funnels through. The breaker fast-fails while open; inside it,
+// transient stage errors (injected faults standing in for a flaky model API)
+// retry with deterministic capped backoff. Context errors never retry — a
+// canceled request's first duty is releasing its executor slot.
+func (s *System) generate(ctx context.Context, query string, ev []llm.Evidence) ([]string, error) {
+	var out []string
+	err := s.genBreaker.Do(func() error {
+		return fault.Retry(ctx, fault.DefaultRetry, func() error {
+			var err error
+			out, err = s.model.GenerateAnswerCtx(ctx, query, ev)
+			return err
+		})
+	})
+	return out, err
+}
+
+// extractChunk is the breaker-guarded per-chunk extraction pair (entity
+// mentions, then triples over them) of the chunk-fallback path.
+func (s *System) extractChunk(ctx context.Context, text string) ([]llm.SPO, error) {
+	var spos []llm.SPO
+	err := s.extBreaker.Do(func() error {
+		return fault.Retry(ctx, fault.DefaultRetry, func() error {
+			ms, err := s.model.ExtractEntitiesCtx(ctx, text)
+			if err != nil {
+				return err
+			}
+			spos, err = s.model.ExtractTriplesCtx(ctx, text, ms)
+			return err
+		})
+	})
+	return spos, err
 }
 
 // subQLimit bounds the interned sub-question prefixes: relations are parsed
@@ -144,16 +263,25 @@ func (s *System) subQuestion(relation, entity string) string {
 }
 
 // answerLookup resolves a single (entity, attribute) question.
-func (s *System) answerLookup(sn *snapshot, ans *Answer, entity, relation string) {
-	e, d := s.gatherEvidence(sn, ans.Query, entity, relation)
+func (s *System) answerLookup(ctx context.Context, sn *snapshot, ans *Answer, entity, relation string) {
+	e, d := s.gatherEvidence(ctx, sn, ans.Query, entity, relation)
 	s.mcc.History().Apply(d)
 	ans.absorb(e)
 	ans.Stages = e.stages
+	if e.err != nil {
+		ans.degrade(e.err)
+		return
+	}
 	if len(e.ev) == 0 {
 		return
 	}
+	vals, err := s.generate(ctx, ans.Query, e.ev) // line 7: trustworthy answers
+	if err != nil {
+		ans.degrade(err)
+		return
+	}
 	ans.Found = true
-	ans.Values = s.model.GenerateAnswer(ans.Query, e.ev) // line 7: trustworthy answers
+	ans.Values = vals
 }
 
 // evScratch pools the hot-loop buffers of gatherEvidence — the MCC candidate
@@ -185,12 +313,18 @@ func copyStrings(src []string) []string {
 // line-graph lookup plus MCC; w/o MKA it degrades to chunk retrieval with
 // per-query LLM extraction. History is only read, never written, inside this
 // function — that is what lets concurrent arms stay deterministic.
-func (s *System) gatherEvidence(sn *snapshot, query, entity, relation string) (evidence, *confidence.HistoryDelta) {
+func (s *System) gatherEvidence(ctx context.Context, sn *snapshot, query, entity, relation string) (evidence, *confidence.HistoryDelta) {
+	if err := fault.Inject(ctx, fault.PointEvidence); err != nil {
+		return evidence{err: err}, nil
+	}
 	if s.cfg.DisableMKA || sn.sg == nil {
-		return s.gatherByChunks(sn, query, entity, relation)
+		return s.gatherByChunks(ctx, sn, query, entity, relation)
 	}
 	if e, d, ok := s.evidence.get(sn.gen, entity, relation); ok {
 		return e, d
+	}
+	if err := ctx.Err(); err != nil {
+		return evidence{err: err}, nil
 	}
 	subj := kg.CanonicalID(s.model.Standardize(entity))
 	sc := evScratchPool.Get().(*evScratch)
@@ -275,7 +409,7 @@ func (s *System) gatherEvidence(sn *snapshot, query, entity, relation string) (e
 		}, nil
 	}
 	// Entity or attribute absent from the graph: degrade to chunk retrieval.
-	return s.gatherByChunks(sn, query, entity, relation)
+	return s.gatherByChunks(ctx, sn, query, entity, relation)
 }
 
 // gatherByChunks is the non-aggregated retrieval path: top-k chunk search,
@@ -284,17 +418,22 @@ func (s *System) gatherEvidence(sn *snapshot, query, entity, relation string) (e
 // ablated). This is both slower (per-query LLM extraction) and lossier
 // (top-k misses sparse evidence) than the line-graph path — the Table III
 // "w/o MKA" behaviour.
-func (s *System) gatherByChunks(sn *snapshot, query, entity, relation string) (evidence, *confidence.HistoryDelta) {
+func (s *System) gatherByChunks(ctx context.Context, sn *snapshot, query, entity, relation string) (evidence, *confidence.HistoryDelta) {
 	k := s.cfg.RetrievalK * 4
-	hits := sn.index.SearchVector(s.embeds.get(query), k, nil)
+	hits, err := retrieval.SearchVectorCtx(ctx, sn.index, s.embeds.get(query), k, nil)
+	if err != nil {
+		return evidence{err: err}, nil
+	}
 	subj := kg.CanonicalID(s.model.Standardize(entity))
 	// Per-query extraction over retrieved chunks.
 	tmp := kg.New()
 	tmp.AddEntity(s.model.Standardize(entity), "Entity", "")
 	var stage1 []string
 	for _, h := range hits {
-		mentions := s.model.ExtractEntities(h.Chunk.Text)
-		spos := s.model.ExtractTriples(h.Chunk.Text, mentions)
+		spos, err := s.extractChunk(ctx, h.Chunk.Text)
+		if err != nil {
+			return evidence{err: err}, nil
+		}
 		for _, spo := range spos {
 			if kg.CanonicalID(s.model.Standardize(spo.Subject)) != subj || spo.Predicate != relation {
 				continue
@@ -350,41 +489,65 @@ func (s *System) gatherByChunks(sn *snapshot, query, entity, relation string) (e
 // answerMultiHop resolves bridge questions: entity —rel₁→ bridge —rel₂→ ans.
 // Hop 2 resolves every bridge concurrently on the worker pool; the merge
 // happens in bridge input order over deferred history credits, so the answer
-// is bit-identical to a sequential evaluation.
-func (s *System) answerMultiHop(sn *snapshot, ans *Answer) {
+// is bit-identical to a sequential evaluation. Under a cancelable context the
+// fan-out stops claiming arms once the context ends, and whatever arms did
+// complete merge into a Degraded partial answer — graceful degradation
+// instead of an error.
+func (s *System) answerMultiHop(ctx context.Context, sn *snapshot, ans *Answer) {
 	lf := ans.LogicForm
 	if len(lf.Entities) == 0 || len(lf.Relations) < 2 {
-		s.answerFallback(sn, ans, ans.Query)
+		s.answerFallback(ctx, sn, ans, ans.Query)
 		return
 	}
 	entity, rel1, rel2 := lf.Entities[0], lf.Relations[0], lf.Relations[1]
 	// Hop 1: find the bridge entity.
 	hop1Q := s.subQuestion(rel1, entity)
-	e1, d1 := s.gatherEvidence(sn, hop1Q, entity, rel1)
+	e1, d1 := s.gatherEvidence(ctx, sn, hop1Q, entity, rel1)
 	s.mcc.History().Apply(d1)
 	ans.absorb(e1)
+	if e1.err != nil {
+		ans.degrade(e1.err)
+		return
+	}
 	if len(e1.ev) == 0 {
 		return
 	}
-	bridges := s.model.GenerateAnswer(hop1Q, e1.ev)
+	bridges, err := s.generate(ctx, hop1Q, e1.ev)
+	if err != nil {
+		ans.degrade(err)
+		return
+	}
 	// Hop 2: resolve the target attribute of each bridge (multi-truth
-	// bridges merge their answers, in bridge order).
+	// bridges merge their answers, in bridge order). Unclaimed arms (the
+	// fan-out stopped early) have nil evidence and no deferred credits, so
+	// merging skips them cleanly.
 	arms := make([]arm, len(bridges))
-	par.ForEach(s.Workers(), len(bridges), func(i int) {
+	fanErr := par.ForEachCtx(ctx, s.Workers(), len(bridges), func(i int) {
 		q := s.subQuestion(rel2, bridges[i])
-		arms[i].e, arms[i].d = s.gatherEvidence(sn, q, bridges[i], rel2)
+		arms[i].e, arms[i].d = s.gatherEvidence(ctx, sn, q, bridges[i], rel2)
 	})
 	var ev2 []llm.Evidence
 	for i := range arms {
 		s.mcc.History().Apply(arms[i].d)
 		ans.absorb(arms[i].e)
 		ev2 = append(ev2, arms[i].e.ev...)
+		if arms[i].e.err != nil {
+			ans.degrade(arms[i].e.err)
+		}
+	}
+	if fanErr != nil {
+		ans.degrade(fanErr)
 	}
 	if len(ev2) == 0 {
 		return
 	}
+	vals, err := s.generate(ctx, ans.Query, ev2)
+	if err != nil {
+		ans.degrade(err)
+		return
+	}
 	ans.Found = true
-	ans.Values = s.model.GenerateAnswer(ans.Query, ev2)
+	ans.Values = vals
 }
 
 // answerComparison resolves "do X and Y have the same attr?" questions. With
@@ -393,19 +556,22 @@ func (s *System) answerMultiHop(sn *snapshot, ans *Answer) {
 // the first resolves to nothing. Either way the second arm's evidence is
 // merged only after the first resolved, so both modes produce the same
 // answer.
-func (s *System) answerComparison(sn *snapshot, ans *Answer) {
+func (s *System) answerComparison(ctx context.Context, sn *snapshot, ans *Answer) {
 	lf := ans.LogicForm
 	if len(lf.Entities) < 2 || len(lf.Relations) == 0 {
-		s.answerFallback(sn, ans, ans.Query)
+		s.answerFallback(ctx, sn, ans, ans.Query)
 		return
 	}
 	rel := lf.Relations[0]
 	resolve := func(entity string) arm {
 		q := s.subQuestion(rel, entity)
 		var a arm
-		a.e, a.d = s.gatherEvidence(sn, q, entity, rel)
-		if len(a.e.ev) > 0 {
-			a.vals = s.model.GenerateAnswer(q, a.e.ev)
+		a.e, a.d = s.gatherEvidence(ctx, sn, q, entity, rel)
+		if a.e.err == nil && len(a.e.ev) > 0 {
+			var err error
+			if a.vals, err = s.generate(ctx, q, a.e.ev); err != nil {
+				a.e.err = err
+			}
 		}
 		return a
 	}
@@ -426,6 +592,9 @@ func (s *System) answerComparison(sn *snapshot, ans *Answer) {
 	}
 	s.mcc.History().Apply(a0.d)
 	ans.absorb(a0.e)
+	if a0.e.err != nil {
+		ans.degrade(a0.e.err)
+	}
 	if a0.vals == nil {
 		// First entity unresolvable: the second arm was skipped (sequential)
 		// or is discarded unmerged (speculative) — identical output either
@@ -434,6 +603,9 @@ func (s *System) answerComparison(sn *snapshot, ans *Answer) {
 	}
 	s.mcc.History().Apply(a1.d)
 	ans.absorb(a1.e)
+	if a1.e.err != nil {
+		ans.degrade(a1.e.err)
+	}
 	if a1.vals == nil {
 		return
 	}
@@ -457,8 +629,12 @@ func (s *System) answerComparison(sn *snapshot, ans *Answer) {
 }
 
 // answerFallback handles unparsed queries via pure chunk retrieval.
-func (s *System) answerFallback(sn *snapshot, ans *Answer, q string) {
-	hits := sn.index.SearchVector(s.embeds.get(q), s.cfg.RetrievalK, nil)
+func (s *System) answerFallback(ctx context.Context, sn *snapshot, ans *Answer, q string) {
+	hits, err := retrieval.SearchVectorCtx(ctx, sn.index, s.embeds.get(q), s.cfg.RetrievalK, nil)
+	if err != nil {
+		ans.degrade(err)
+		return
+	}
 	var ev []llm.Evidence
 	for _, h := range hits {
 		ev = append(ev, llm.Evidence{Value: h.Chunk.Text, Weight: h.Score, Source: h.Chunk.Source})
@@ -466,8 +642,13 @@ func (s *System) answerFallback(sn *snapshot, ans *Answer, q string) {
 	if len(ev) == 0 {
 		return
 	}
+	vals, err := s.generate(ctx, q, ev)
+	if err != nil {
+		ans.degrade(err)
+		return
+	}
 	ans.Found = true
-	ans.Values = s.model.GenerateAnswer(q, ev)
+	ans.Values = vals
 }
 
 // RetrieveDocs returns the top-k document IDs for a query, ranked by the

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"multirag/internal/adapter"
 	"multirag/internal/confidence"
 	"multirag/internal/extract"
+	"multirag/internal/fault"
 	"multirag/internal/kg"
 	"multirag/internal/linegraph"
 	"multirag/internal/llm"
@@ -101,6 +103,15 @@ type Config struct {
 	// CheckpointBytes triggers a checkpoint once the active WAL segment
 	// exceeds this many bytes (<=0 selects DefaultCheckpointBytes).
 	CheckpointBytes int
+	// BreakerFailures is how many consecutive LLM-call failures trip the
+	// generation/extraction circuit breakers open (<=0 selects
+	// fault.DefaultBreakerFailures). Breaker trips only matter when calls can
+	// fail — injected faults today, a real model API behind the Sim seam
+	// tomorrow; the deterministic simulator itself never fails.
+	BreakerFailures int
+	// BreakerCooldown is how long a tripped breaker fast-fails before
+	// admitting a half-open probe (<=0 selects fault.DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
 	// SerializeIngest reverts Ingest to the pre-pipeline write path: the
 	// whole call — extraction fan-out included — runs under the write lock,
 	// every batch commits its own snapshot, and the homologous statistics
@@ -181,6 +192,13 @@ type System struct {
 	// committer.go.
 	gc groupCommitter
 
+	// genBreaker and extBreaker contain failures of the answer-generation and
+	// extraction LLM calls respectively: consecutive failures trip them open
+	// and later calls fast-fail into degraded answers instead of hammering a
+	// broken dependency. See internal/fault.
+	genBreaker *fault.Breaker
+	extBreaker *fault.Breaker
+
 	// dur is the durability state (WAL, checkpointer) of a system opened with
 	// Open/OpenFS; nil for purely in-memory systems. See durable.go.
 	dur *durable
@@ -216,6 +234,8 @@ func NewSystem(cfg Config) *System {
 		answers:     newAnswerCache(cfg.AnswerCacheSize),
 		evidence:    newEvidenceMemo(cfg.DisableEvidenceMemo),
 		subQs:       map[string]string{},
+		genBreaker:  fault.NewBreaker("llm.generate", cfg.BreakerFailures, cfg.BreakerCooldown, nil),
+		extBreaker:  fault.NewBreaker("llm.extract", cfg.BreakerFailures, cfg.BreakerCooldown, nil),
 	}
 	s.gc.init()
 	s.snap.Store(&snapshot{
@@ -269,6 +289,78 @@ func (s *System) QueryBatch(queries []string) []Answer {
 		out[i], _ = s.queryCached(sn, queries[i])
 	})
 	return out
+}
+
+// QueryBatchCtx is QueryBatch under one shared context: the whole batch runs
+// against one snapshot and stops claiming work once ctx is done. Queries cut
+// short return degraded answers (see queryCtx). A context that can never be
+// canceled delegates to QueryBatch, keeping the context-free path
+// bit-identical.
+func (s *System) QueryBatchCtx(ctx context.Context, queries []string) []Answer {
+	if ctx.Done() == nil {
+		return s.QueryBatch(queries)
+	}
+	sn := s.snap.Load()
+	out := make([]Answer, len(queries))
+	par.ForEach(s.Workers(), len(queries), func(i int) {
+		out[i] = s.queryCtx(ctx, sn, queries[i])
+	})
+	return out
+}
+
+// QueryEach evaluates queries[i] under ctxs[i] (nil entries mean no
+// deadline), all against one published snapshot — the serving executor's
+// entry point, where every request in a formed batch carries its own
+// SLO-class deadline and disconnect signal. Answers return in input order; a
+// request whose context ends mid-evaluation yields a degraded partial answer
+// while the rest of the batch proceeds unaffected.
+func (s *System) QueryEach(ctxs []context.Context, queries []string) []Answer {
+	sn := s.snap.Load()
+	out := make([]Answer, len(queries))
+	par.ForEach(s.Workers(), len(queries), func(i int) {
+		ctx := context.Background()
+		if i < len(ctxs) && ctxs[i] != nil {
+			ctx = ctxs[i]
+		}
+		if ctx.Done() == nil {
+			out[i], _ = s.queryCached(sn, queries[i])
+		} else {
+			out[i] = s.queryCtx(ctx, sn, queries[i])
+		}
+	})
+	return out
+}
+
+// BreakerStats snapshots the LLM-call circuit breakers for /v1/metrics.
+func (s *System) BreakerStats() []fault.BreakerStats {
+	return []fault.BreakerStats{s.genBreaker.Stats(), s.extBreaker.Stats()}
+}
+
+// DurabilityStatus is the durability layer's health as seen by serving:
+// whether the system is durable at all, whether the WAL has latched an append
+// failure (ingest is failing durably until restart), and the checkpoint/LSN
+// positions.
+type DurabilityStatus struct {
+	Durable           bool
+	WALAppendErr      string
+	LastCheckpointLSN uint64
+	NextLSN           uint64
+}
+
+// DurabilityStatus reports the WAL append latch and checkpoint positions.
+// All-zero on in-memory systems.
+func (s *System) DurabilityStatus() DurabilityStatus {
+	d := s.dur
+	if d == nil {
+		return DurabilityStatus{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := DurabilityStatus{Durable: true, LastCheckpointLSN: d.lastCkpt, NextLSN: d.log.NextLSN()}
+	if err := d.log.Failed(); err != nil {
+		st.WALAppendErr = err.Error()
+	}
+	return st
 }
 
 // Model exposes the serving-side simulated LLM (query-time usage

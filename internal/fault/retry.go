@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// RetryPolicy bounds a retry loop: up to Attempts tries, sleeping Backoff
+// before the second try and doubling up to MaxBackoff. The backoff is
+// deterministic (no jitter) — the engine's determinism pins extend to its
+// failure handling, and the fleet-level thundering-herd argument for jitter
+// does not apply to in-process stage retries.
+type RetryPolicy struct {
+	Attempts   int
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// DefaultRetry is the stage-retry policy: three tries, 1ms then 2ms between
+// them — enough to ride out a transient injected error without adding
+// human-visible latency to a degraded request.
+var DefaultRetry = RetryPolicy{Attempts: 3, Backoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond}
+
+// Retry runs fn until it succeeds, the attempts are spent, the context ends,
+// or fn returns a non-retryable error. Context errors and ErrOpen are never
+// retried: a canceled request must release its slot now, and hammering an
+// open breaker defeats its purpose. Sleeps are context-aware.
+func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
+	if p.Attempts <= 0 {
+		p.Attempts = 1
+	}
+	backoff := p.Backoff
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+			backoff *= 2
+			if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
+				backoff = p.MaxBackoff
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrOpen) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,51 @@
+package llm
+
+import (
+	"context"
+
+	"multirag/internal/fault"
+)
+
+// Context-aware wrappers over the deterministic Sim. The simulator itself
+// never fails, so these exist for the request lifecycle: they refuse to start
+// work for a caller whose deadline has already passed, and they carry the
+// fault-injection points the chaos suite uses to stand in for a real model
+// API's latency spikes, 5xxs, stuck connections and crashes. With no fault
+// armed and a live context they delegate verbatim, so context-free callers
+// and the determinism suites see bit-identical output.
+
+// GenerateAnswerCtx is GenerateAnswer guarded by ctx and the
+// fault.PointLLMGenerate injection point.
+func (s *Sim) GenerateAnswerCtx(ctx context.Context, query string, evidence []Evidence) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := fault.Inject(ctx, fault.PointLLMGenerate); err != nil {
+		return nil, err
+	}
+	return s.GenerateAnswer(query, evidence), nil
+}
+
+// ExtractEntitiesCtx is ExtractEntities guarded by ctx and the
+// fault.PointLLMExtract injection point.
+func (s *Sim) ExtractEntitiesCtx(ctx context.Context, text string) ([]Mention, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := fault.Inject(ctx, fault.PointLLMExtract); err != nil {
+		return nil, err
+	}
+	return s.ExtractEntities(text), nil
+}
+
+// ExtractTriplesCtx is ExtractTriples guarded by ctx and the
+// fault.PointLLMExtract injection point.
+func (s *Sim) ExtractTriplesCtx(ctx context.Context, text string, entities []Mention) ([]SPO, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := fault.Inject(ctx, fault.PointLLMExtract); err != nil {
+		return nil, err
+	}
+	return s.ExtractTriples(text, entities), nil
+}

@@ -1,0 +1,73 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var sum atomic.Int64
+		ForEach(workers, 100, func(i int) { sum.Add(int64(i)) })
+		if got := sum.Load(); got != 4950 {
+			t.Fatalf("workers=%d: sum=%d, want 4950", workers, got)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recover=%v, want boom", workers, r)
+				}
+			}()
+			ForEach(workers, 64, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForEachCtxBackgroundMatchesForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEachCtx(context.Background(), 4, 100, func(i int) { sum.Add(int64(i)) }); err != nil {
+		t.Fatalf("err=%v", err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum=%d, want 4950", sum.Load())
+	}
+}
+
+func TestForEachCtxCancelStopsClaiming(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, workers, 1_000_000, func(i int) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err=%v, want Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1_000_000 {
+			t.Fatalf("workers=%d: cancel did not stop the loop (ran %d)", workers, n)
+		}
+	}
+}
+
+func TestForEachCtxAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 1, 100, func(i int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) || ran.Load() != 0 {
+		t.Fatalf("err=%v ran=%d, want Canceled/0", err, ran.Load())
+	}
+}

@@ -3,6 +3,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"multirag"
 )
 
 // ClassMetrics is one SLO class's serving report: outcome counters plus the
@@ -16,7 +18,16 @@ type ClassMetrics struct {
 	RejectedQueue     int64   `json:"rejected_queue"`
 	TimedOut          int64   `json:"timed_out"`
 	Failed            int64   `json:"failed"`
-	P50Micros         float64 `json:"p50_us"`
+	// DeadlineExceeded counts requests that exhausted their end-to-end budget
+	// and were not delivered — while still queued, or mid-evaluation with
+	// degradation disabled for the class. Canceled counts requests whose
+	// client went away before an answer could be delivered. Degraded counts
+	// partial answers delivered with 200 + Degraded under the class's
+	// Degrade policy; those are also included in Completed.
+	DeadlineExceeded int64   `json:"deadline_exceeded"`
+	Canceled         int64   `json:"canceled"`
+	Degraded         int64   `json:"degraded"`
+	P50Micros        float64 `json:"p50_us"`
 	P95Micros         float64 `json:"p95_us"`
 	P99Micros         float64 `json:"p99_us"`
 	MaxMicros         float64 `json:"max_us"`
@@ -41,6 +52,13 @@ type MetricsSnapshot struct {
 	// saturation into front-door 429s.
 	IngestInflight int `json:"ingest_inflight"`
 	IngestCapacity int `json:"ingest_capacity"`
+	// Breakers reports the engine's model-call circuit breakers; Durability
+	// the WAL append latch and checkpoint horizon; Recovery what startup
+	// crash recovery found when the server was opened over an existing data
+	// directory (nil for in-memory deployments).
+	Breakers   []multirag.BreakerInfo  `json:"breakers,omitempty"`
+	Durability multirag.DurabilityInfo `json:"durability"`
+	Recovery   *multirag.RecoveryInfo  `json:"recovery,omitempty"`
 }
 
 // classCounters accumulates one class's outcomes.
@@ -50,6 +68,9 @@ type classCounters struct {
 	rejectedQueue     int64
 	timedOut          int64
 	failed            int64
+	deadlineExceeded  int64
+	canceled          int64
+	degraded          int64
 	lat               []time.Duration
 }
 
@@ -113,6 +134,24 @@ func (m *metrics) fail(name string) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) deadline(name string) {
+	m.mu.Lock()
+	m.class(name).deadlineExceeded++
+	m.mu.Unlock()
+}
+
+func (m *metrics) canceled(name string) {
+	m.mu.Lock()
+	m.class(name).canceled++
+	m.mu.Unlock()
+}
+
+func (m *metrics) degraded(name string) {
+	m.mu.Lock()
+	m.class(name).degraded++
+	m.mu.Unlock()
+}
+
 // snapshot digests the counters into the wire shape.
 func (m *metrics) snapshot(policy string) MetricsSnapshot {
 	m.mu.Lock()
@@ -133,6 +172,9 @@ func (m *metrics) snapshot(policy string) MetricsSnapshot {
 			RejectedQueue:     c.rejectedQueue,
 			TimedOut:          c.timedOut,
 			Failed:            c.failed,
+			DeadlineExceeded:  c.deadlineExceeded,
+			Canceled:          c.canceled,
+			Degraded:          c.degraded,
 		}
 		if len(c.lat) > 0 {
 			qs := Quantiles(c.lat, 0.50, 0.95, 0.99, 1)
@@ -149,7 +191,8 @@ func (m *metrics) snapshot(policy string) MetricsSnapshot {
 		if uptime > 0 {
 			cm.ThroughputRPS = float64(c.completed) / uptime.Seconds()
 		}
-		if c.completed+c.rejectedAdmission+c.rejectedQueue+c.timedOut+c.failed > 0 {
+		if c.completed+c.rejectedAdmission+c.rejectedQueue+c.timedOut+c.failed+
+			c.deadlineExceeded+c.canceled > 0 {
 			completed = append(completed, float64(c.completed))
 		}
 		snap.Classes = append(snap.Classes, cm)

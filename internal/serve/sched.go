@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -62,6 +63,13 @@ const (
 )
 
 // request is one admitted query waiting for batch formation.
+//
+// Channel discipline: done is buffered (capacity 1) and receives exactly one
+// send, from whichever side wins the request's CAS — the executor that claims
+// it (pending→running, sends the answer) or the scheduler's close
+// (pending→timedOut, sends errClosed). A handler that times the request out
+// itself (pending→timedOut in await) receives nothing, and nothing is sent:
+// no path can leave a sender blocked on the channel.
 type request struct {
 	query string
 	class *classState
@@ -70,6 +78,21 @@ type request struct {
 	enq   time.Time
 	state atomic.Int32
 	done  chan answerResult
+
+	// ctx carries the request's end-to-end budget — the smaller of the class
+	// deadline and the request's own deadline_ms, counted from admission — and
+	// the client's disconnect signal. nil when the request has neither (the
+	// evaluation then takes the context-free, bit-identical engine path).
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// abort cancels the request's context, if it has one. Idempotent; safe from
+// any goroutine.
+func (r *request) abort() {
+	if r.cancel != nil {
+		r.cancel()
+	}
 }
 
 type answerResult struct {

@@ -14,6 +14,16 @@
 //	GET  /v1/metrics      per-class p50/p95/p99, Jain fairness, queue depths
 //	GET  /healthz
 //
+// Requests run under end-to-end deadlines: each SLO class may declare a
+// budget (Class.Deadline) that starts at admission — queue wait counts — and
+// a request may tighten it with "deadline_ms". The context also cancels on
+// client disconnect. A request whose budget expires while queued is shed; one
+// that expires mid-evaluation stops promptly and, when the class opts into
+// Class.Degrade, is answered 200 with Answer.Degraded and whatever evidence
+// completed (otherwise 504). /healthz reports ok/degraded/draining with a
+// reason, and /v1/metrics carries deadline/cancel/degraded counters, circuit
+// breaker states and durability health.
+//
 // Excess load is shed, never buffered without bound: a request that finds
 // its class token bucket empty or its bounded queue full is rejected with
 // 429, one that waits in queue past the configured timeout gets 503, and
@@ -33,7 +43,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -42,6 +54,7 @@ import (
 	"time"
 
 	"multirag"
+	"multirag/internal/fault"
 )
 
 // Class declares one SLO class of the front door. Requests select a class by
@@ -59,6 +72,17 @@ type Class struct {
 	// QueueCap bounds the class's pending-request queue; arrivals that find
 	// it full are rejected with 429 (default 256).
 	QueueCap int `json:"queue_cap"`
+	// Deadline is the class's end-to-end budget per request, counted from
+	// admission — queue wait spends the same budget as evaluation. A request
+	// may tighten (never extend) it with its own deadline_ms. <= 0 means no
+	// deadline; the client disconnect signal still cancels.
+	Deadline time.Duration `json:"deadline,omitempty"`
+	// Degrade selects graceful degradation: a request whose budget runs out
+	// mid-evaluation (or that hits an open circuit breaker) is answered 200
+	// with Answer.Degraded set and whatever evidence completed, instead of
+	// failing with 504. Queue-timeout and still-queued deadline expiry shed
+	// as before — there is no partial answer to deliver yet.
+	Degrade bool `json:"degrade,omitempty"`
 }
 
 // DefaultClasses is the stock three-class SLO layout: latency-sensitive
@@ -95,6 +119,10 @@ type Config struct {
 	// Executors is the number of concurrent batch executors (default 2:
 	// one batch forming while another runs its AskConcurrent fan-out).
 	Executors int
+	// Recovery, when set, is the startup crash-recovery report of the durable
+	// System being served; it is surfaced on /v1/metrics so operators can see
+	// what the process found on disk without grepping logs.
+	Recovery *multirag.RecoveryInfo
 }
 
 // Server is a running front door. Create with New, mount Handler on an
@@ -111,6 +139,7 @@ type Server struct {
 	// pressure reports the ingest pipeline's admission state; defaults to
 	// System.IngestPressure (overridable by tests to force saturation).
 	pressure func() (inflight, capacity int)
+	recovery *multirag.RecoveryInfo
 	mux      *http.ServeMux
 
 	// draining rejects new work with 503 + Retry-After once set (Drain /
@@ -155,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 		byName:       map[string]*classState{},
 		queueTimeout: cfg.QueueTimeout,
 		pressure:     cfg.System.IngestPressure,
+		recovery:     cfg.Recovery,
 	}
 	var states []*classState
 	for _, c := range classes {
@@ -234,12 +264,17 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap := s.metrics.snapshot(s.policy)
 	snap.QueueDepths = s.sched.depths()
 	snap.IngestInflight, snap.IngestCapacity = s.pressure()
+	snap.Breakers = s.sys.Breakers()
+	snap.Durability = s.sys.Durability()
+	snap.Recovery = s.recovery
 	return snap
 }
 
 // executorLoop drains batches off the scheduler and runs each through the
 // engine's batch entry point; every answer in the batch evaluates against
-// one published snapshot.
+// one published snapshot. Each request carries its own context, so one
+// request's deadline or disconnect degrades that answer without touching its
+// batchmates.
 func (s *Server) executorLoop() {
 	defer s.executors.Done()
 	for {
@@ -248,16 +283,45 @@ func (s *Server) executorLoop() {
 			return
 		}
 		queries := make([]string, len(batch))
+		ctxs := make([]context.Context, len(batch))
 		for i, r := range batch {
 			queries[i] = r.query
+			ctxs[i] = r.ctx
 		}
-		answers := s.sys.AskConcurrent(queries)
-		now := time.Now()
+		answers := s.runBatch(ctxs, queries)
 		for i, r := range batch {
-			s.metrics.record(r.class.cfg.Name, now.Sub(r.enq))
+			// done is buffered (cap 1) and the executor owns the only send for
+			// a claimed request, so this never blocks — even when the handler
+			// has already returned (batch sibling failed first).
 			r.done <- answerResult{answer: answers[i]}
 		}
 	}
+}
+
+// runBatch evaluates one formed batch, containing faults at the serve
+// boundary and panics escaping the engine: either becomes a set of degraded
+// answers rather than a dead executor goroutine (which would strand every
+// waiting handler and shrink serving capacity forever).
+func (s *Server) runBatch(ctxs []context.Context, queries []string) (answers []multirag.Answer) {
+	degradeAll := func(reason string) []multirag.Answer {
+		out := make([]multirag.Answer, len(queries))
+		for i, q := range queries {
+			out[i] = multirag.Answer{Query: q, Degraded: true, DegradedReason: reason}
+		}
+		return out
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			answers = degradeAll(fmt.Sprintf("panic: %v", r))
+		}
+	}()
+	// Chaos seam for the executor itself. Deliberately not bound to any one
+	// request's context (the batch is shared), so hang faults here release
+	// only on fault.Disable/Reset; waiting handlers shed via queue timeout.
+	if err := fault.Inject(context.Background(), fault.PointServeExecute); err != nil {
+		return degradeAll(err.Error())
+	}
+	return s.sys.AskEach(ctxs, queries)
 }
 
 // Wire shapes.
@@ -266,6 +330,9 @@ func (s *Server) executorLoop() {
 type QueryRequest struct {
 	Query string `json:"query"`
 	Class string `json:"class,omitempty"`
+	// DeadlineMillis optionally tightens the class deadline for this request
+	// (it can never extend it). The budget is counted from admission.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 }
 
 // BatchRequest is the /v1/query/batch payload. Admission charges one token
@@ -273,6 +340,8 @@ type QueryRequest struct {
 type BatchRequest struct {
 	Queries []string `json:"queries"`
 	Class   string   `json:"class,omitempty"`
+	// DeadlineMillis applies per query, as in QueryRequest.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 }
 
 // BatchResponse answers a BatchRequest in input order.
@@ -330,23 +399,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("admission: class %q over rate", cs.cfg.Name))
 		return
 	}
-	rq := &request{query: req.Query, class: cs, cost: EstimateCost(req.Query), done: make(chan answerResult, 1)}
+	rq := s.newRequest(r.Context(), req.Query, cs, req.DeadlineMillis)
+	defer rq.abort()
 	if err := s.sched.enqueue(rq); err != nil {
 		s.metrics.rejectQueue(cs.cfg.Name)
 		writeShed(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
-	res, ok := s.await(rq)
-	if !ok {
-		writeShed(w, http.StatusServiceUnavailable,
-			fmt.Sprintf("queue timeout: class %q waited over %v", cs.cfg.Name, s.queueTimeout))
+	res, oc := s.await(rq)
+	out := s.conclude(rq, res, oc)
+	if out.status != http.StatusOK {
+		out.write(w)
 		return
 	}
-	if res.err != nil {
-		writeShed(w, http.StatusServiceUnavailable, res.err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, res.answer)
+	writeJSON(w, http.StatusOK, out.answer)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -373,7 +439,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	rqs := make([]*request, len(req.Queries))
 	for i, q := range req.Queries {
-		rqs[i] = &request{query: q, class: cs, cost: EstimateCost(q), done: make(chan answerResult, 1)}
+		rqs[i] = s.newRequest(r.Context(), q, cs, req.DeadlineMillis)
+		defer rqs[i].abort()
 	}
 	if err := s.sched.enqueueAll(rqs); err != nil {
 		s.metrics.rejectQueue(cs.cfg.Name)
@@ -382,40 +449,169 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := BatchResponse{Answers: make([]multirag.Answer, len(rqs))}
 	for i, rq := range rqs {
-		res, ok := s.await(rq)
-		if !ok {
-			writeShed(w, http.StatusServiceUnavailable,
-				fmt.Sprintf("queue timeout: class %q waited over %v", cs.cfg.Name, s.queueTimeout))
+		res, oc := s.await(rq)
+		out := s.conclude(rq, res, oc)
+		if out.status != http.StatusOK {
+			// The deferred aborts cancel this request's still-running siblings,
+			// so their executor slots free promptly; their answers land in the
+			// buffered done channels and are dropped.
+			out.write(w)
 			return
 		}
-		if res.err != nil {
-			writeShed(w, http.StatusServiceUnavailable, res.err.Error())
-			return
-		}
-		resp.Answers[i] = res.answer
+		resp.Answers[i] = out.answer
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// await blocks for rq's answer, enforcing the queue timeout. The timeout
-// only claims requests still waiting for batch formation (pending→timedOut
-// CAS): once an executor has claimed a request, its answer is on the way and
-// await waits it out.
-func (s *Server) await(rq *request) (answerResult, bool) {
-	if s.queueTimeout < 0 {
-		return <-rq.done, true
-	}
-	timer := time.NewTimer(s.queueTimeout)
-	defer timer.Stop()
-	select {
-	case res := <-rq.done:
-		return res, true
-	case <-timer.C:
-		if rq.state.CompareAndSwap(reqPending, reqTimedOut) {
-			s.metrics.timeout(rq.class.cfg.Name)
-			return answerResult{}, false
+// newRequest builds one admitted query request. Its context derives from the
+// client connection (disconnect cancels) bounded by the effective deadline —
+// the smaller of the class deadline and the request's own deadline_ms —
+// counted from this moment, so time spent waiting in queue draws down the
+// same budget as evaluation. With no deadline and no disconnect signal the
+// context stays nil and the engine takes its context-free path.
+func (s *Server) newRequest(base context.Context, query string, cs *classState, deadlineMillis int64) *request {
+	rq := &request{query: query, class: cs, cost: EstimateCost(query), done: make(chan answerResult, 1)}
+	d := cs.cfg.Deadline
+	if deadlineMillis > 0 {
+		rd := time.Duration(deadlineMillis) * time.Millisecond
+		if d <= 0 || rd < d {
+			d = rd
 		}
-		return <-rq.done, true
+	}
+	if base == nil {
+		base = context.Background()
+	}
+	switch {
+	case d > 0:
+		rq.ctx, rq.cancel = context.WithTimeout(base, d)
+	case base.Done() != nil:
+		rq.ctx, rq.cancel = context.WithCancel(base)
+	}
+	return rq
+}
+
+// awaitOutcome says how await resolved a request.
+type awaitOutcome int
+
+const (
+	// awaitAnswered: the answerResult is valid (possibly degraded or errClosed).
+	awaitAnswered awaitOutcome = iota
+	// awaitQueueTimeout: the handler's queue timer won the pending→timedOut
+	// CAS; no executor will ever run the request.
+	awaitQueueTimeout
+	// awaitDeadline / awaitCanceled: the request's context ended while it was
+	// still queued — deadline budget exhausted or client disconnected — and
+	// the handler claimed it before any executor could.
+	awaitDeadline
+	awaitCanceled
+)
+
+// await blocks for rq's answer, enforcing the queue timeout and the request
+// context. Timer and context only claim requests still waiting for batch
+// formation (pending→timedOut CAS): once an executor holds the request, the
+// answer is on the way and await waits it out — but it cancels the context
+// when the timer fires anyway, so a claimed request whose handler has given
+// up wraps its evaluation up promptly and releases the executor slot instead
+// of running to completion for nobody.
+func (s *Server) await(rq *request) (answerResult, awaitOutcome) {
+	var timerC <-chan time.Time
+	if s.queueTimeout >= 0 {
+		timer := time.NewTimer(s.queueTimeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	var ctxDone <-chan struct{}
+	if rq.ctx != nil {
+		ctxDone = rq.ctx.Done()
+	}
+	for {
+		select {
+		case res := <-rq.done:
+			return res, awaitAnswered
+		case <-timerC:
+			timerC = nil
+			won := rq.state.CompareAndSwap(reqPending, reqTimedOut)
+			rq.abort()
+			if won {
+				return answerResult{}, awaitQueueTimeout
+			}
+			// Lost the CAS race: an executor owns the request. The abort above
+			// makes its evaluation degrade promptly; wait for that answer.
+		case <-ctxDone:
+			ctxDone = nil
+			if rq.state.CompareAndSwap(reqPending, reqTimedOut) {
+				if errors.Is(rq.ctx.Err(), context.DeadlineExceeded) {
+					return answerResult{}, awaitDeadline
+				}
+				return answerResult{}, awaitCanceled
+			}
+			// Claimed: the executor evaluates under this same (now done)
+			// context and will deliver a degraded answer shortly.
+		}
+	}
+}
+
+// reqOutcome is a concluded request: the HTTP disposition of one awaited
+// answer after degradation policy.
+type reqOutcome struct {
+	status int
+	shed   bool // carries Retry-After (load-shed, retryable)
+	msg    string
+	answer multirag.Answer
+}
+
+func (o reqOutcome) write(w http.ResponseWriter) {
+	if o.shed {
+		writeShed(w, o.status, o.msg)
+		return
+	}
+	writeError(w, o.status, o.msg)
+}
+
+// conclude classifies one awaited result into its HTTP disposition and
+// records the outcome counters: completed (latency recorded), queue timeout,
+// deadline exceeded, canceled, or a degraded partial answer — delivered as
+// 200 + Degraded when the class opted in, converted to the matching error
+// otherwise.
+func (s *Server) conclude(rq *request, res answerResult, oc awaitOutcome) reqOutcome {
+	name := rq.class.cfg.Name
+	switch oc {
+	case awaitQueueTimeout:
+		s.metrics.timeout(name)
+		return reqOutcome{status: http.StatusServiceUnavailable, shed: true,
+			msg: fmt.Sprintf("queue timeout: class %q waited over %v", name, s.queueTimeout)}
+	case awaitDeadline:
+		s.metrics.deadline(name)
+		return reqOutcome{status: http.StatusGatewayTimeout,
+			msg: fmt.Sprintf("deadline exceeded: class %q budget spent while queued", name)}
+	case awaitCanceled:
+		s.metrics.canceled(name)
+		return reqOutcome{status: http.StatusServiceUnavailable, msg: "request canceled"}
+	}
+	if res.err != nil {
+		return reqOutcome{status: http.StatusServiceUnavailable, shed: true, msg: res.err.Error()}
+	}
+	ans := res.answer
+	if !ans.Degraded {
+		s.metrics.record(name, time.Since(rq.enq))
+		return reqOutcome{status: http.StatusOK, answer: ans}
+	}
+	if rq.class.cfg.Degrade {
+		s.metrics.degraded(name)
+		s.metrics.record(name, time.Since(rq.enq))
+		return reqOutcome{status: http.StatusOK, answer: ans}
+	}
+	switch ans.DegradedReason {
+	case "deadline":
+		s.metrics.deadline(name)
+		return reqOutcome{status: http.StatusGatewayTimeout,
+			msg: fmt.Sprintf("deadline exceeded: class %q", name)}
+	case "canceled":
+		s.metrics.canceled(name)
+		return reqOutcome{status: http.StatusServiceUnavailable, msg: "request canceled"}
+	default:
+		s.metrics.fail(name)
+		return reqOutcome{status: http.StatusInternalServerError, msg: "degraded: " + ans.DegradedReason}
 	}
 }
 
@@ -479,14 +675,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
+// HealthResponse is the /healthz payload: a tri-state status with a reason,
+// instead of a bare binary probe.
+type HealthResponse struct {
+	// Status is "ok", "degraded" (alive but impaired — WAL append latched or
+	// a circuit breaker open) or "draining" (shutting down).
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		// Fail the probe so load balancers stop routing here while in-flight
 		// work finishes.
-		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ok": false, "draining": true})
+		writeJSON(w, http.StatusServiceUnavailable,
+			HealthResponse{Status: "draining", Reason: "server draining for shutdown"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	if reason := s.degradedReason(); reason != "" {
+		// Impaired but alive: answer 200 so load balancers keep routing —
+		// queries still work (possibly degraded) even when ingest durability
+		// or a model-call breaker is down. The payload carries the reason for
+		// operators and status-aware probes.
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "degraded", Reason: reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// degradedReason reports why the server is degraded, or "" when healthy: a
+// latched WAL append failure (ingest no longer durable until restart) or an
+// open circuit breaker (model calls failing fast).
+func (s *Server) degradedReason() string {
+	if d := s.sys.Durability(); d.Durable && d.WALAppendErr != "" {
+		return "wal append latched: " + d.WALAppendErr
+	}
+	for _, b := range s.sys.Breakers() {
+		if b.State == "open" {
+			return "circuit breaker " + b.Name + " open"
+		}
+	}
+	return ""
 }
 
 // resolveClass maps a request's class name onto its state, writing the 400

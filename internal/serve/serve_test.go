@@ -166,8 +166,8 @@ func TestServeSmoke(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d: %s", resp.StatusCode, body)
 	}
-	var ok map[string]bool
-	if err := json.Unmarshal(body, &ok); err != nil || !ok["ok"] {
+	var health HealthResponse
+	if err := json.Unmarshal(body, &health); err != nil || health.Status != "ok" {
 		t.Fatalf("healthz response: %v (%s)", err, body)
 	}
 }

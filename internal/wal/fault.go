@@ -1,0 +1,20 @@
+package wal
+
+import (
+	"context"
+
+	"multirag/internal/fault"
+)
+
+// FaultOps bridges MemFS's OnOp hook into the fault registry: every mutating
+// filesystem operation becomes a named injection point "<prefix>.<op>"
+// (e.g. "walfs.sync"), so the chaos grid can arm filesystem faults with the
+// same Enable/Disable vocabulary it uses for the request lifecycle — the
+// generalization of the hook the crash matrix drove by hand. Filesystem
+// operations carry no context, so hang faults here release only on
+// Disable/Reset.
+func FaultOps(prefix string) func(op Op, name string) error {
+	return func(op Op, name string) error {
+		return fault.Inject(context.Background(), prefix+"."+string(op))
+	}
+}

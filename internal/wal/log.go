@@ -221,6 +221,13 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 // the number of records ever committed.
 func (l *Log) NextLSN() uint64 { return l.next }
 
+// Failed returns the latched append error, nil while the log is healthy. Like
+// every Log method it relies on the caller's external synchronization (core
+// holds System.mu around the log). The health endpoint surfaces this: a
+// latched log means ingest is failing durably until restart, which is a
+// degraded-but-alive condition, not a dead process.
+func (l *Log) Failed() error { return l.err }
+
 // ActiveSize returns the byte size of the active segment.
 func (l *Log) ActiveSize() int { return l.size }
 

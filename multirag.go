@@ -1,6 +1,7 @@
 package multirag
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -84,6 +85,15 @@ type Config struct {
 	// fixed batch order; the knob exists as the A/B baseline for ingest
 	// throughput measurements.
 	SerializeIngest bool
+	// BreakerFailures is how many consecutive model-call failures trip the
+	// answer-generation/extraction circuit breakers open (0 = default 5).
+	// While open, affected queries return Degraded answers immediately
+	// instead of hammering the failing stage; after BreakerCooldown a single
+	// probe call decides whether to close again.
+	BreakerFailures int
+	// BreakerCooldown is how long a tripped breaker fast-fails before probing
+	// (0 = default 1s).
+	BreakerCooldown time.Duration
 }
 
 // Answer is the trustworthy response to a query.
@@ -103,6 +113,14 @@ type Answer struct {
 	// Intent is the parsed query intent ("attribute_lookup", "multi_hop",
 	// "comparison").
 	Intent string
+	// Degraded marks a partial answer: the evaluation was cut short by its
+	// deadline, a cancellation, a tripped circuit breaker or a contained
+	// stage failure, and Values reflects only the work that completed.
+	// Context-free Ask/AskConcurrent never set it outside fault injection.
+	Degraded bool
+	// DegradedReason names why ("deadline", "canceled", "breaker-open", or a
+	// stage error); empty when Degraded is false.
+	DegradedReason string
 }
 
 // EvidenceItem is one accepted claim.
@@ -142,14 +160,14 @@ func Open(cfg Config) *System {
 type RecoveryInfo struct {
 	// CheckpointLSN is the WAL position covered by the checkpoint that seeded
 	// the state (0 when the system started from scratch).
-	CheckpointLSN uint64
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
 	// RecordsReplayed is how many write-ahead-log records were replayed on
 	// top of the checkpoint.
-	RecordsReplayed int
+	RecordsReplayed int `json:"records_replayed"`
 	// Truncated reports that a torn or corrupt record was found at the log
 	// tail and discarded — the signature of a crash mid-commit; the affected
 	// batch was never acknowledged.
-	Truncated bool
+	Truncated bool `json:"truncated"`
 }
 
 // OpenDurable opens (or initialises) a durable System backed by dir: every
@@ -208,6 +226,8 @@ func coreConfig(cfg Config) core.Config {
 		ANNQuantize:     cfg.ANNInt8,
 		AnswerCacheSize: cfg.AnswerCache,
 		SerializeIngest: cfg.SerializeIngest,
+		BreakerFailures: cfg.BreakerFailures,
+		BreakerCooldown: cfg.BreakerCooldown,
 		Ablation: confidence.Options{
 			DisableGraphLevel: cfg.DisableGraphLevel,
 			DisableNodeLevel:  cfg.DisableNodeLevel,
@@ -249,6 +269,28 @@ func (s *System) Ask(query string) Answer {
 	return convertAnswer(s.inner.Query(query))
 }
 
+// AskCtx is Ask under a request context: the evaluation stops claiming work
+// once ctx is done (deadline or cancellation) and returns whatever completed
+// as a Degraded partial answer. With a context that can never be canceled it
+// takes the exact Ask path, bit-identical to Ask.
+func (s *System) AskCtx(ctx context.Context, query string) Answer {
+	return convertAnswer(s.inner.QueryCtx(ctx, query))
+}
+
+// AskEach answers queries[i] under ctxs[i] (nil entries mean no deadline),
+// all against one published snapshot — the serving layer's batch entry point,
+// where each admitted request carries its own SLO deadline and client
+// disconnect signal. A request whose context ends mid-evaluation yields a
+// Degraded answer; the rest of the batch is unaffected.
+func (s *System) AskEach(ctxs []context.Context, queries []string) []Answer {
+	answers := s.inner.QueryEach(ctxs, queries)
+	out := make([]Answer, len(answers))
+	for i := range answers {
+		out[i] = convertAnswer(answers[i])
+	}
+	return out
+}
+
 // AskConcurrent answers a batch of queries, fanning them out across the
 // worker pool (Config.Workers, default GOMAXPROCS). Results are returned in
 // input order. The whole batch evaluates against one published snapshot, so
@@ -272,6 +314,8 @@ func convertAnswer(a core.Answer) Answer {
 		Rejected:         a.RejectedCount,
 		GraphConfidences: a.GraphConfidences,
 		Intent:           a.LogicForm.Intent,
+		Degraded:         a.Degraded,
+		DegradedReason:   a.DegradedReason,
 	}
 	for _, tn := range a.Trusted {
 		out.Trusted = append(out.Trusted, EvidenceItem{
@@ -281,6 +325,62 @@ func convertAnswer(a core.Answer) Answer {
 		})
 	}
 	return out
+}
+
+// BreakerInfo is one circuit breaker's observable state.
+type BreakerInfo struct {
+	// Name identifies the guarded stage ("llm.generate", "llm.extract").
+	Name string `json:"name"`
+	// State is "closed", "open" or "half-open".
+	State string `json:"state"`
+	// Failures counts consecutive failures while closed.
+	Failures int64 `json:"consecutive_failures"`
+	// Trips counts closed→open (and failed-probe) transitions.
+	Trips int64 `json:"trips"`
+	// FastFails counts calls rejected without running while open.
+	FastFails int64 `json:"fast_fails"`
+	// Successes counts calls that completed cleanly.
+	Successes int64 `json:"successes"`
+}
+
+// Breakers snapshots the model-call circuit breakers, for metrics endpoints.
+func (s *System) Breakers() []BreakerInfo {
+	stats := s.inner.BreakerStats()
+	out := make([]BreakerInfo, len(stats))
+	for i, st := range stats {
+		out[i] = BreakerInfo{
+			Name: st.Name, State: st.State, Failures: st.Failures,
+			Trips: st.Trips, FastFails: st.FastFails, Successes: st.Successes,
+		}
+	}
+	return out
+}
+
+// DurabilityInfo is the durability layer's live health.
+type DurabilityInfo struct {
+	// Durable reports whether the system was opened with OpenDurable.
+	Durable bool `json:"durable"`
+	// WALAppendErr is the latched write-ahead-log append failure, if any:
+	// once an append fails, the log refuses further work until restart, so
+	// ingest is failing durably while this is non-empty. Empty when healthy.
+	WALAppendErr string `json:"wal_append_err,omitempty"`
+	// LastCheckpointLSN is the log position covered by the newest checkpoint.
+	LastCheckpointLSN uint64 `json:"last_checkpoint_lsn"`
+	// NextLSN is the next log position to be written — the count of records
+	// ever committed.
+	NextLSN uint64 `json:"next_lsn"`
+}
+
+// Durability reports the WAL append latch and checkpoint positions; the
+// zero value on in-memory systems.
+func (s *System) Durability() DurabilityInfo {
+	st := s.inner.DurabilityStatus()
+	return DurabilityInfo{
+		Durable:           st.Durable,
+		WALAppendErr:      st.WALAppendErr,
+		LastCheckpointLSN: st.LastCheckpointLSN,
+		NextLSN:           st.NextLSN,
+	}
 }
 
 // IngestPressure reports the ingest pipeline's admission state: how many
