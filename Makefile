@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_SCALE ?= 0.12
 
-.PHONY: check vet build test race chaos fuzz-smoke bench bench-retrieval bench-ann bench-graph bench-query bench-ingest bench-serve bench-wal clean
+.PHONY: check vet build test race chaos chaos-cluster fuzz-smoke bench bench-retrieval bench-ann bench-graph bench-query bench-ingest bench-serve bench-wal bench-cluster clean
 
 # check is the CI entry point: static analysis, full build, race-enabled
 # tests, and a short fuzz pass over the crash-surface decoders.
@@ -27,6 +27,14 @@ race:
 # recovery. -count=1 keeps it uncached so CI always exercises the grid.
 chaos:
 	$(GO) test -race -count=1 -run '^TestChaos' ./internal/core ./internal/serve ./internal/fault
+
+# chaos-cluster runs the replication chaos suite under the race detector:
+# kill/hang/corrupt one of three WAL-fed read replicas under concurrent query
+# + ingest load, asserting the router sheds to survivors, every served answer
+# stays bit-identical to a single-engine reference, and the fenced replica
+# resyncs back to byte-identical state.
+chaos-cluster:
+	$(GO) test -race -count=1 -run '^TestChaosCluster' ./internal/cluster ./internal/serve
 
 # fuzz-smoke runs each committed fuzz target briefly on top of its seed
 # corpus (testdata/fuzz): the WAL frame parser and field decoder — the code
@@ -91,5 +99,12 @@ bench-serve:
 bench-wal:
 	$(GO) run ./cmd/benchtables -wal -scale $(BENCH_SCALE) -json BENCH_wal.json
 
+# bench-cluster runs the replicated-read benchmark: a replica-count sweep
+# (0/1/2/4 WAL-fed read replicas behind the HTTP front door) measuring read
+# throughput, hedged vs unhedged p99, and failover time-to-drain when the
+# replica query path hard-fails.
+bench-cluster:
+	$(GO) run ./cmd/benchtables -cluster -scale $(BENCH_SCALE) -json BENCH_cluster.json
+
 clean:
-	rm -f BENCH_core.json BENCH_retrieval.json BENCH_graph.json BENCH_query.json BENCH_ingest.json BENCH_serve.json BENCH_wal.json
+	rm -f BENCH_core.json BENCH_retrieval.json BENCH_graph.json BENCH_query.json BENCH_ingest.json BENCH_serve.json BENCH_wal.json BENCH_cluster.json

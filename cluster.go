@@ -1,0 +1,145 @@
+package multirag
+
+import (
+	"context"
+
+	"multirag/internal/cluster"
+)
+
+// ReplicaSetConfig sizes a ReplicaSet.
+type ReplicaSetConfig struct {
+	// Replicas is the number of read replicas (default 2).
+	Replicas int
+	// VerifyEvery inserts an anti-entropy digest marker into every replica
+	// feed after this many shipped records (default 16; < 0 disables).
+	VerifyEvery int
+	// QueueLen bounds each replica's feed queue (default 256). An overflowing
+	// replica loses frames, detects the gap and resyncs from the primary.
+	QueueLen int
+}
+
+// ReplicaSet replicates a System onto N in-process read replicas by shipping
+// its committed write-ahead-log records over a feed and replaying them
+// through the same path crash recovery uses. Every replica snapshot is
+// byte-identical to the primary's at the same replication position, so reads
+// routed to replicas return exactly the answers the primary would. Replicas
+// that fall behind, fail a replay, or diverge (caught by periodic digest
+// verification) fence themselves and resync automatically.
+type ReplicaSet struct {
+	c *cluster.Cluster
+}
+
+// NewReplicaSet attaches a replica set to s and starts its feed pumps. Only
+// one ReplicaSet may be attached to a System at a time; Close detaches it.
+func NewReplicaSet(s *System, cfg ReplicaSetConfig) (*ReplicaSet, error) {
+	c, err := cluster.New(s.inner, cluster.Config{
+		Replicas:    cfg.Replicas,
+		VerifyEvery: cfg.VerifyEvery,
+		QueueLen:    cfg.QueueLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ReplicaSet{c: c}, nil
+}
+
+// Close detaches from the primary and stops every replica. Safe to call more
+// than once; call it before closing the System underneath.
+func (rs *ReplicaSet) Close() { rs.c.Close() }
+
+// CommittedLSN is the primary's replication position — the coordinate
+// replica positions and staleness bounds are measured against.
+func (rs *ReplicaSet) CommittedLSN() uint64 { return rs.c.CommittedLSN() }
+
+// Replicas returns the read replicas (fixed for the set's lifetime).
+func (rs *ReplicaSet) Replicas() []*Replica {
+	inner := rs.c.Replicas()
+	out := make([]*Replica, len(inner))
+	for i, r := range inner {
+		out[i] = &Replica{r: r}
+	}
+	return out
+}
+
+// ReplicaStatus is one replica's externally visible state, for metrics.
+type ReplicaStatus struct {
+	// Name identifies the replica ("replica-0", ...).
+	Name string `json:"name"`
+	// State is "live", "syncing" or "fenced".
+	State string `json:"state"`
+	// AppliedLSN is the replication position the replica has applied through.
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// Lag is committed minus applied at snapshot time.
+	Lag uint64 `json:"lag"`
+	// Verified counts anti-entropy digest markers that matched.
+	Verified uint64 `json:"verified"`
+	// Divergences counts digest markers that did not (each forced a resync).
+	Divergences uint64 `json:"divergences"`
+	// Resyncs counts fence→reseed cycles for any reason.
+	Resyncs uint64 `json:"resyncs"`
+	// DroppedFrames counts feed frames dropped on queue overflow.
+	DroppedFrames uint64 `json:"dropped_frames"`
+	// FenceReason is why the replica is currently fenced, if it is.
+	FenceReason string `json:"fence_reason,omitempty"`
+}
+
+// Status snapshots every replica.
+func (rs *ReplicaSet) Status() []ReplicaStatus {
+	inner := rs.c.Status()
+	out := make([]ReplicaStatus, len(inner))
+	for i, st := range inner {
+		out[i] = ReplicaStatus{
+			Name:          st.Name,
+			State:         st.State,
+			AppliedLSN:    st.Applied,
+			Lag:           st.Lag,
+			Verified:      st.Verified,
+			Divergences:   st.Divergences,
+			Resyncs:       st.Resyncs,
+			DroppedFrames: st.Dropped,
+			FenceReason:   st.FenceReason,
+		}
+	}
+	return out
+}
+
+// Replica is one read replica — a routing target for the serving layer.
+type Replica struct {
+	r *cluster.Replica
+}
+
+// Name identifies the replica ("replica-0", ...).
+func (r *Replica) Name() string { return r.r.Name() }
+
+// Live reports whether the replica is applying its feed and fit to serve
+// (not fenced or mid-resync).
+func (r *Replica) Live() bool { return r.r.State() == cluster.StateLive }
+
+// Position is the replication position the replica has applied through.
+func (r *Replica) Position() uint64 { return r.r.Position() }
+
+// AskEach answers queries[i] under ctxs[i] against the replica's snapshot,
+// exactly as System.AskEach would against the primary's.
+func (r *Replica) AskEach(ctxs []context.Context, queries []string) []Answer {
+	answers := r.r.AskEach(ctxs, queries)
+	out := make([]Answer, len(answers))
+	for i := range answers {
+		out[i] = convertAnswer(answers[i])
+	}
+	return out
+}
+
+// Probe health-checks the replica; nil means it is live and servable. The
+// serving router probes drained replicas before re-admitting them.
+func (r *Replica) Probe(ctx context.Context) error { return r.r.Probe(ctx) }
+
+// SnapshotDigest returns the anti-entropy fingerprint of the currently
+// published snapshot. Two engines at the same replication position holding
+// byte-identical state digest identically; `multirag recover -verify` prints
+// this for offline comparison across nodes.
+func (s *System) SnapshotDigest() uint64 { return s.inner.SnapshotDigest() }
+
+// ReplicationLSN returns the system's replication position: the number of
+// commit groups ever published (on durable systems, exactly the WAL's next
+// LSN).
+func (s *System) ReplicationLSN() uint64 { return s.inner.ReplicationLSN() }

@@ -13,6 +13,7 @@
 //	benchtables -ingest         # ingest-throughput microbenchmarks only
 //	benchtables -serve          # HTTP serving-layer benchmarks only
 //	benchtables -wal            # WAL durability benchmarks (throughput tax, recovery, checkpoint)
+//	benchtables -cluster        # replicated-read benchmarks (throughput, hedged p99, failover drain)
 //	benchtables -scale 0.2      # quick run at 20% workload
 //	benchtables -seed 7         # different generation seed
 //	benchtables -json BENCH_core.json   # also write per-job wall times as JSON
@@ -38,6 +39,7 @@ func main() {
 	ingest := flag.Bool("ingest", false, "run only the ingest-throughput microbenchmarks")
 	srv := flag.Bool("serve", false, "run only the HTTP serving-layer benchmarks")
 	walFlag := flag.Bool("wal", false, "run only the WAL durability benchmarks (throughput tax, recovery time, checkpoint size)")
+	cluster := flag.Bool("cluster", false, "run only the replicated-read benchmarks (replica-count sweep: throughput, hedged vs unhedged p99, failover drain)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (entities and queries)")
 	seed := flag.Uint64("seed", 1, "dataset / model seed")
 	jsonOut := flag.String("json", "", "write per-job wall-clock timings to this JSON file")
@@ -57,6 +59,7 @@ func main() {
 	var retrievalDetail *bench.RetrievalReport
 	var annDetail *bench.ANNReport
 	var walDetail *bench.WALReport
+	var clusterDetail *bench.ClusterReport
 	add := func(name string, run func(bench.Options) error) {
 		jobs = append(jobs, job{name, run})
 	}
@@ -130,6 +133,16 @@ func main() {
 			walDetail = rep
 			return err
 		})
+	case *cluster:
+		if *table > 0 || *figure > 0 {
+			fmt.Fprintln(os.Stderr, "benchtables: -cluster cannot be combined with -table/-figure")
+			os.Exit(2)
+		}
+		add("Cluster", func(o bench.Options) error {
+			rep, err := bench.ClusterBenchReport(o)
+			clusterDetail = rep
+			return err
+		})
 	case *table > 0:
 		switch *table {
 		case 1:
@@ -184,6 +197,7 @@ func main() {
 		Retrieval *bench.RetrievalReport `json:"retrieval,omitempty"`
 		ANN       *bench.ANNReport       `json:"ann,omitempty"`
 		WAL       *bench.WALReport       `json:"wal,omitempty"`
+		Cluster   *bench.ClusterReport   `json:"cluster,omitempty"`
 	}{Seed: *seed, Scale: *scale}
 	for _, j := range jobs {
 		start := time.Now()
@@ -203,6 +217,7 @@ func main() {
 	report.Retrieval = retrievalDetail
 	report.ANN = annDetail
 	report.WAL = walDetail
+	report.Cluster = clusterDetail
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

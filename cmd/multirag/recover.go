@@ -22,6 +22,11 @@ func runRecoverCmd(args []string) {
 Open a durable data directory, replay the write-ahead log on top of the
 newest checkpoint, print what was recovered, and checkpoint the result.
 
+With -verify, also print the recovered state's replication position and
+anti-entropy snapshot digest — the same fingerprint replicas are checked
+against online. Two directories recovered with the same seed that print the
+same position and digest hold byte-identical state.
+
 Flags:
 `)
 		fs.PrintDefaults()
@@ -30,6 +35,7 @@ Flags:
 		dataDir = fs.String("data-dir", "", "durable state directory (required)")
 		dryRun  = fs.Bool("dry-run", false, "do not write a fresh checkpoint (opening still repairs a torn log tail)")
 		seed    = fs.Uint64("seed", 1, "simulated model seed (must match the serving configuration)")
+		verify  = fs.Bool("verify", false, "print the replication position and anti-entropy snapshot digest of the recovered state")
 	)
 	if err := fs.Parse(args); err != nil {
 		fatal("recover: %v", err)
@@ -51,6 +57,10 @@ Flags:
 	fmt.Printf("triples:             %d\n", st.Triples)
 	fmt.Printf("homologous nodes:    %d\n", st.HomologousNodes)
 	fmt.Printf("chunks indexed:      %d\n", st.Chunks)
+	if *verify {
+		fmt.Printf("replication LSN:     %d\n", sys.ReplicationLSN())
+		fmt.Printf("snapshot digest:     %016x\n", sys.SnapshotDigest())
+	}
 	if *dryRun {
 		return
 	}

@@ -61,6 +61,15 @@ so a restart resumes the exact corpus. SIGINT/SIGTERM drain gracefully:
 in-flight requests finish, the WAL is flushed into a final checkpoint, then
 the process exits. Inspect or repair a directory with "multirag recover".
 
+With -replicas N, reads are served from N in-process replicas fed by the
+primary's committed WAL records and kept byte-identical by periodic
+anti-entropy digest checks. -route picks the policy (round-robin,
+least-loaded, primary-only); -max-lag bounds replica staleness (laggards
+fail over to the primary); -hedge-after dispatches a second copy of a slow
+read to another replica and returns whichever answers first. Replica
+health, lag, resync and hedging counters appear under "router" in
+/v1/metrics.
+
 Flags:
 `)
 		fs.PrintDefaults()
@@ -89,6 +98,10 @@ Flags:
 		degrade      = fs.Bool("degrade", true, "deliver partial answers as 200 + degraded when a request's deadline expires mid-evaluation (false = fail with 504)")
 		brkFailures  = fs.Int("breaker-failures", 0, "consecutive model-call failures that trip a circuit breaker (0 = default)")
 		brkCooldown  = fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
+		replicas     = fs.Int("replicas", 0, "read replicas fed from the primary's committed WAL records (0 = serve reads from the primary)")
+		route        = fs.String("route", serve.RouteRoundRobin, "replica read-routing policy: round-robin, least-loaded or primary-only")
+		hedgeAfter   = fs.Duration("hedge-after", 0, "dispatch a hedged copy of a read to a second replica after this delay; first answer wins (0 = no hedging)")
+		maxLag       = fs.Uint64("max-lag", 0, "staleness bound in commit groups; reads fail over to the primary when a replica lags further (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		fatal("serve: %v", err)
@@ -136,6 +149,24 @@ Flags:
 		}
 	}
 
+	// The replica set (if any) outlives the server but not the system: it is
+	// detached after the server stops routing to it and before the primary's
+	// final checkpoint.
+	var set *multirag.ReplicaSet
+	if *replicas > 0 {
+		var err error
+		set, err = multirag.NewReplicaSet(sys, multirag.ReplicaSetConfig{Replicas: *replicas})
+		if err != nil {
+			fatal("serve: replicas: %v", err)
+		}
+		fmt.Printf("multirag serve: %d read replicas attached (route %s)\n", *replicas, *route)
+	}
+	closeSet := func() {
+		if set != nil {
+			set.Close()
+		}
+	}
+
 	srv, err := serve.New(serve.Config{
 		System:       sys,
 		Policy:       *policy,
@@ -143,8 +174,13 @@ Flags:
 		MaxBatch:     *maxBatch,
 		QueueTimeout: *queueTimeout,
 		Recovery:     recovery,
+		Replicas:     set,
+		Route:        *route,
+		HedgeAfter:   *hedgeAfter,
+		MaxLag:       *maxLag,
 	})
 	if err != nil {
+		closeSet()
 		fatal("serve: %v", err)
 	}
 
@@ -164,6 +200,7 @@ Flags:
 	select {
 	case err := <-serveErr:
 		srv.Close()
+		closeSet()
 		sys.Close()
 		fatal("serve: %v", err)
 	case <-ctx.Done():
@@ -177,6 +214,7 @@ Flags:
 		fmt.Fprintf(os.Stderr, "multirag serve: shutdown: %v\n", err)
 	}
 	srv.Close()
+	closeSet()
 	if err := sys.Close(); err != nil {
 		fatal("serve: close durable state: %v", err)
 	}

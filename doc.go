@@ -53,6 +53,22 @@
 // checkpoint; `multirag recover` inspects and repairs a directory offline.
 // See DESIGN.md §9.
 //
+// Read capacity scales out with NewReplicaSet: the primary ships every
+// committed WAL record over a per-replica feed and each replica replays it
+// through the same path crash recovery uses, so replica state is
+// byte-identical to the primary's at the same position — verified online by
+// periodic anti-entropy digest markers. A replica that drops frames, fails a
+// replay or diverges fences itself and resyncs from a primary snapshot. The
+// serving layer routes reads across the set (CLI: `multirag serve -replicas
+// N -route round-robin|least-loaded|primary-only`), bounds staleness
+// (-max-lag, laggards fail over to the primary), health-checks replicas
+// behind per-replica circuit breakers, and optionally hedges slow reads onto
+// a second replica (-hedge-after), returning whichever answer lands first
+// and canceling the loser. `multirag recover -verify` prints the replication
+// position and snapshot digest for offline cross-node comparison; `make
+// bench-cluster` records the replica-count sweep into BENCH_cluster.json.
+// See DESIGN.md section 11.
+//
 // The public API wraps the internal modules: adapters (internal/adapter),
 // the DSM columnar store (internal/dsm), JSON-LD normalisation
 // (internal/jsonld), knowledge-graph storage (internal/kg), the line-graph

@@ -1,0 +1,322 @@
+package bench
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"multirag"
+	"multirag/internal/adapter"
+	"multirag/internal/fault"
+	"multirag/internal/serve"
+)
+
+// ClusterReport carries the structured replicated-read benchmark results for
+// BENCH_cluster.json (stdout gets the human-readable table).
+type ClusterReport struct {
+	Cells []ClusterCell `json:"cells"`
+}
+
+// ClusterCell is one replica-count measurement: closed-loop read throughput
+// through the full HTTP path, the read p99 with and without hedging, hedging
+// effectiveness counters, and — when replicas exist — the failover
+// time-to-drain: how long the router takes to stop routing to replicas whose
+// query path hard-fails (every per-replica breaker tripped open) while
+// serving every request correctly from the primary.
+type ClusterCell struct {
+	Replicas            int     `json:"replicas"`
+	N                   int     `json:"n"` // corpus entities
+	Requests            int     `json:"requests"`
+	Clients             int     `json:"clients"`
+	ThroughputRPS       float64 `json:"throughput_rps"`
+	UnhedgedP99Micros   float64 `json:"unhedged_p99_us"`
+	HedgedP99Micros     float64 `json:"hedged_p99_us"`
+	Hedges              uint64  `json:"hedges"`
+	HedgeWins           uint64  `json:"hedge_wins"`
+	FailoverDrainMillis float64 `json:"failover_drain_ms"`
+}
+
+// clusterReport collects cells for the current ClusterBench run when the
+// caller asked for them (benchtables -cluster -json).
+var clusterReport *ClusterReport
+
+// ClusterBenchReport runs ClusterBench and returns the structured cells.
+func ClusterBenchReport(o Options) (*ClusterReport, error) {
+	rep := &ClusterReport{}
+	clusterReport = rep
+	defer func() { clusterReport = nil }()
+	if err := ClusterBench(o); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// ClusterBench is the replicated-read benchmark behind `make bench-cluster`.
+// It sweeps the replica count (0 = reads on the primary, then 1/2/4 WAL-fed
+// read replicas) and, per count, drives the same closed-loop read workload
+// through the HTTP front door three times: unhedged for throughput and p99,
+// hedged for the tail comparison, and — with the replica query path
+// hard-failing — to time how long the router takes to drain every replica
+// behind its circuit breaker.
+func ClusterBench(o Options) error {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	scale := o.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(2000 * scale)
+	if n < 96 {
+		n = 96
+	}
+	requests := int(1200 * scale)
+	if requests < 120 {
+		requests = 120
+	}
+	const clients = 8
+
+	queries := append(lookupMix(n, requests/2), comparisonMix(n, requests-requests/2)...)
+	files := queryCorpusFiles(n)
+
+	fmt.Fprintf(o.Out, "Replicated-read benchmark (%d reads over HTTP, %d clients, n=%d entities)\n",
+		len(queries), clients, n)
+	fmt.Fprintf(o.Out, "route round-robin, max-lag default; hedged runs dispatch a second copy after 1ms\n")
+	for _, replicas := range []int{0, 1, 2, 4} {
+		cell, err := clusterBenchReplicas(seed, files, n, replicas, queries, clients)
+		if err != nil {
+			return err
+		}
+		drain := "        n/a"
+		if replicas > 0 {
+			drain = fmt.Sprintf("%8.1fms", cell.FailoverDrainMillis)
+		}
+		fmt.Fprintf(o.Out, "replicas %d: %8.0f req/s   p99 %8.0fµs  hedged p99 %8.0fµs (%d hedges, %d wins)   failover drain %s\n",
+			replicas, cell.ThroughputRPS, cell.UnhedgedP99Micros, cell.HedgedP99Micros,
+			cell.Hedges, cell.HedgeWins, drain)
+		if clusterReport != nil {
+			clusterReport.Cells = append(clusterReport.Cells, cell)
+		}
+	}
+	return nil
+}
+
+// clusterBenchReplicas measures one replica count. The system and replica set
+// are shared by the three runs; each run gets a fresh front door (and so a
+// fresh router with untouched breakers and counters).
+func clusterBenchReplicas(seed uint64, files []adapter.RawFile, n, replicas int, queries []string, clients int) (ClusterCell, error) {
+	sys := multirag.Open(multirag.Config{Seed: seed})
+	if err := sys.IngestFiles(rawToFiles(files)...); err != nil {
+		return ClusterCell{}, fmt.Errorf("cluster bench ingest: %w", err)
+	}
+	var set *multirag.ReplicaSet
+	if replicas > 0 {
+		var err error
+		set, err = multirag.NewReplicaSet(sys, multirag.ReplicaSetConfig{Replicas: replicas})
+		if err != nil {
+			return ClusterCell{}, fmt.Errorf("cluster bench replicas: %w", err)
+		}
+		defer set.Close()
+		if err := waitReplicasLive(set); err != nil {
+			return ClusterCell{}, err
+		}
+	}
+	cell := ClusterCell{
+		Replicas: replicas,
+		N:        n,
+		Requests: len(queries),
+		Clients:  clients,
+	}
+
+	// Run 1: unhedged — read throughput and baseline p99.
+	p99, rps, _, err := clusterRun(sys, set, 0, queries, clients)
+	if err != nil {
+		return ClusterCell{}, err
+	}
+	cell.ThroughputRPS = rps
+	cell.UnhedgedP99Micros = p99
+
+	// Run 2: hedged — a second dispatch fires for any read still unanswered
+	// after 1ms, so only the tail pays the duplicated work.
+	p99, _, router, err := clusterRun(sys, set, time.Millisecond, queries, clients)
+	if err != nil {
+		return ClusterCell{}, err
+	}
+	cell.HedgedP99Micros = p99
+	if router != nil {
+		cell.Hedges = router.Hedges
+		cell.HedgeWins = router.HedgeWins
+	}
+
+	// Run 3: failover time-to-drain — hard-fail every replica read and time
+	// how long until the router has tripped every per-replica breaker (no
+	// replica is routed to anymore) while still answering from the primary.
+	if replicas > 0 {
+		drain, err := clusterDrain(sys, set, queries, clients)
+		if err != nil {
+			return ClusterCell{}, err
+		}
+		cell.FailoverDrainMillis = float64(drain.Microseconds()) / 1e3
+	}
+	return cell, nil
+}
+
+// clusterRun drives one closed-loop pass of the read workload through a fresh
+// front door and returns the read p99, the completed throughput, and the
+// router counters (nil without replicas).
+func clusterRun(sys *multirag.System, set *multirag.ReplicaSet, hedgeAfter time.Duration, queries []string, clients int) (p99 float64, rps float64, router *serve.RouterMetrics, err error) {
+	srv, ts, err := clusterServer(sys, set, hedgeAfter)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer ts.Close()
+	defer srv.Close()
+
+	start := time.Now()
+	if err := clusterDrive(ts, queries, clients, nil); err != nil {
+		return 0, 0, nil, err
+	}
+	total := time.Since(start)
+
+	snap := srv.Metrics()
+	var completed int64
+	for _, c := range snap.Classes {
+		if c.Name != "read" {
+			continue
+		}
+		completed = c.Completed
+		p99 = c.P99Micros
+	}
+	return p99, float64(completed) / total.Seconds(), snap.Router, nil
+}
+
+// clusterDrain hard-fails the replica query path and measures how long the
+// router takes, under continuous load, to trip every replica breaker open.
+func clusterDrain(sys *multirag.System, set *multirag.ReplicaSet, queries []string, clients int) (time.Duration, error) {
+	srv, ts, err := clusterServer(sys, set, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer ts.Close()
+	defer srv.Close()
+
+	fault.Enable(fault.PointClusterQuery, fault.Fault{Kind: fault.KindError})
+	defer fault.Disable(fault.PointClusterQuery)
+
+	drained := func() bool {
+		snap := srv.Metrics()
+		if snap.Router == nil || len(snap.Router.Breakers) == 0 {
+			return false
+		}
+		for _, b := range snap.Router.Breakers {
+			if b.State != "open" {
+				return false
+			}
+		}
+		return true
+	}
+	start := time.Now()
+	var at time.Duration
+	err = clusterDrive(ts, queries, clients, func() bool {
+		if at == 0 && drained() {
+			at = time.Since(start)
+		}
+		return at != 0
+	})
+	if err != nil {
+		return 0, err
+	}
+	if at == 0 {
+		if !drained() {
+			return 0, fmt.Errorf("cluster bench: replicas never drained (%d reads)", len(queries))
+		}
+		at = time.Since(start)
+	}
+	return at, nil
+}
+
+// clusterServer stands up a front door routing reads across the set (or the
+// primary alone when set is nil) with a single admission-unlimited class.
+func clusterServer(sys *multirag.System, set *multirag.ReplicaSet, hedgeAfter time.Duration) (*serve.Server, *httptest.Server, error) {
+	srv, err := serve.New(serve.Config{
+		System:       sys,
+		Replicas:     set,
+		Route:        serve.RouteRoundRobin,
+		HedgeAfter:   hedgeAfter,
+		Classes:      []serve.Class{{Name: "read", Priority: 1, QueueCap: 4096}},
+		QueueTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, httptest.NewServer(srv.Handler()), nil
+}
+
+// clusterDrive fans the read workload across concurrent HTTP clients. A
+// non-nil stop callback is polled between requests on every client; once it
+// returns true the remaining workload is skipped.
+func clusterDrive(ts *httptest.Server, queries []string, clients int, stop func() bool) error {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4 * clients,
+		MaxIdleConnsPerHost: 4 * clients,
+	}}
+	per := (len(queries) + clients - 1) / clients
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		lo := c * per
+		hi := min(lo+per, len(queries))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(qs []string) {
+			defer wg.Done()
+			for _, q := range qs {
+				if stop != nil && stop() {
+					return
+				}
+				status, err := servePost(client, ts.URL+"/v1/query", serve.QueryRequest{Query: q, Class: "read"})
+				if err != nil {
+					errs <- fmt.Errorf("cluster bench read: %w", err)
+					return
+				}
+				if status != 200 {
+					errs <- fmt.Errorf("cluster bench read: HTTP %d", status)
+					return
+				}
+			}
+		}(queries[lo:hi])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitReplicasLive blocks until every replica has applied the seed corpus.
+func waitReplicasLive(set *multirag.ReplicaSet) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ok := true
+		for _, r := range set.Replicas() {
+			if !r.Live() || r.Position() != set.CommittedLSN() {
+				ok = false
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster bench: replicas never caught up: %+v", set.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"multirag/internal/core"
+	"multirag/internal/fault"
+)
+
+// chaosQueries are the base-corpus questions whose answers are pinned against
+// a single-engine reference. Concurrent filler ingest touches only unrelated
+// entities, so these answers are independent of how far any replica has
+// applied the feed.
+var chaosQueries = []string{
+	"What is the status of CA981?",
+	"What is the delay reason of CA981?",
+}
+
+func waitClusterGoroutines(t *testing.T, base int) {
+	t.Helper()
+	const slack = 10
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d now vs %d at start\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func chaosAnswersEqual(a, b core.Answer) bool {
+	if a.Query != b.Query || a.Found != b.Found || a.Degraded != b.Degraded ||
+		len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosClusterReplicaFaults is the tentpole chaos scenario: a 3-replica
+// cluster under concurrent query + ingest load while one replica is killed
+// (replay fault), hung (feed stall with queue overflow), or silently
+// corrupted (state swap caught by anti-entropy). Throughout, every answer any
+// replica returns is value-identical to a single-engine reference; afterwards
+// the faulted replica has fenced, resynced, and converged byte-identical to
+// the primary.
+func TestChaosClusterReplicaFaults(t *testing.T) {
+	scenarios := []struct {
+		name string
+		arm  func(c *Cluster)    // injects the fault once the cluster is caught up
+		hit  func(c *Cluster) bool // reports the fault has landed (polled under load)
+		heal func()              // releases whatever the fault left armed
+		// corruptIdx marks a replica deliberately serving wrong state until
+		// anti-entropy fences it; its querier is skipped (the router-level
+		// chaos suite covers shedding). -1 means every replica is compared.
+		corruptIdx int
+	}{
+		{
+			name: "kill-replay",
+			arm: func(*Cluster) {
+				fault.Enable(fault.PointClusterReplay, fault.Fault{Kind: fault.KindError, MaxHits: 1})
+			},
+			hit:        func(*Cluster) bool { return fault.Hits(fault.PointClusterReplay) >= 1 },
+			heal:       func() {},
+			corruptIdx: -1,
+		},
+		{
+			name: "hang-feed",
+			arm: func(*Cluster) {
+				fault.Enable(fault.PointClusterFeed, fault.Fault{Kind: fault.KindHang, MaxHits: 1})
+			},
+			// The hung pump must back its queue up until frames actually drop,
+			// or healing could catch up without ever fencing.
+			hit: func(c *Cluster) bool {
+				for _, r := range c.Replicas() {
+					if r.Status(c.CommittedLSN()).Dropped > 0 {
+						return true
+					}
+				}
+				return false
+			},
+			heal:       func() { fault.Disable(fault.PointClusterFeed) },
+			corruptIdx: -1,
+		},
+		{
+			name: "corrupt-state",
+			arm: func(c *Cluster) {
+				// Swap one replica's state for a snapshot that never came from
+				// this primary — only the digest markers can catch this.
+				other := core.NewSystem(testConfig())
+				if _, err := other.Ingest(fillerBatch(999)); err != nil {
+					t.Fatalf("Ingest other: %v", err)
+				}
+				r := c.Replicas()[0]
+				if err := r.System().SeedReplica(stateBytes(other), r.Position()); err != nil {
+					t.Fatalf("corrupting seed: %v", err)
+				}
+			},
+			hit: func(c *Cluster) bool {
+				return c.Replicas()[0].Status(c.CommittedLSN()).Divergences >= 1
+			},
+			heal:       func() {},
+			corruptIdx: 0,
+		},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			defer fault.Reset()
+			baseGoroutines := runtime.NumGoroutine()
+
+			primary := core.NewSystem(testConfig())
+			reference := core.NewSystem(testConfig())
+			for _, b := range corpusBatches() {
+				if _, err := primary.Ingest(b); err != nil {
+					t.Fatalf("Ingest primary: %v", err)
+				}
+				if _, err := reference.Ingest(b); err != nil {
+					t.Fatalf("Ingest reference: %v", err)
+				}
+			}
+			want := reference.QueryBatch(chaosQueries)
+
+			c, err := New(primary, Config{Replicas: 3, VerifyEvery: 1, QueueLen: 64})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer c.Close()
+			waitCaughtUp(t, c)
+			sc.arm(c)
+
+			// Concurrent load: one ingester committing unrelated entities,
+			// one querier per replica comparing every answer to the reference.
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := primary.Ingest(fillerBatch(i)); err != nil {
+						t.Errorf("Ingest under load: %v", err)
+						return
+					}
+				}
+			}()
+			for idx, r := range c.Replicas() {
+				if idx == sc.corruptIdx {
+					continue // serving deliberately wrong state until fenced
+				}
+				wg.Add(1)
+				go func(r *Replica) {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						got := r.AskEach(make([]context.Context, len(chaosQueries)), chaosQueries)
+						for i, ans := range got {
+							if !chaosAnswersEqual(ans, want[i]) {
+								t.Errorf("%s: answer %+v differs from reference %+v", r.Name(), ans, want[i])
+								return
+							}
+						}
+					}
+				}(r)
+			}
+			waitFor(t, "fault to land under load", func() bool { return sc.hit(c) })
+			time.Sleep(50 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+			sc.heal()
+
+			// Heal: keep committing until every replica is live at the
+			// primary's position (a dropped frame only surfaces as a gap when
+			// a later frame arrives).
+			poke := 10_000
+			waitFor(t, "all replicas live and caught up", func() bool {
+				committed := c.CommittedLSN()
+				for _, r := range c.Replicas() {
+					if r.State() != StateLive || r.Position() != committed {
+						if _, err := primary.Ingest(fillerBatch(poke)); err != nil {
+							t.Fatalf("Ingest poke: %v", err)
+						}
+						poke++
+						return false
+					}
+				}
+				return true
+			})
+
+			wantBytes := stateBytes(primary)
+			var resyncs, divergences uint64
+			for _, r := range c.Replicas() {
+				if !bytes.Equal(stateBytes(r.System()), wantBytes) {
+					t.Fatalf("%s differs from primary after healing", r.Name())
+				}
+				st := r.Status(c.CommittedLSN())
+				resyncs += st.Resyncs
+				divergences += st.Divergences
+			}
+			if resyncs == 0 {
+				t.Fatal("no replica fenced and resynced under the injected fault")
+			}
+			if sc.name == "corrupt-state" && divergences == 0 {
+				t.Fatal("anti-entropy never caught the corrupted replica")
+			}
+			for i, ans := range primary.QueryBatch(chaosQueries) {
+				if !chaosAnswersEqual(ans, want[i]) {
+					t.Fatalf("primary answer %+v differs from reference %+v after chaos", ans, want[i])
+				}
+			}
+
+			c.Close()
+			waitClusterGoroutines(t, baseGoroutines)
+		})
+	}
+}

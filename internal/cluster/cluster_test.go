@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"multirag/internal/adapter"
+	"multirag/internal/core"
+	"multirag/internal/fault"
+	"multirag/internal/llm"
+	"multirag/internal/wal"
+)
+
+// testConfig is the deterministic engine config every cluster test shares —
+// the same seed the core equivalence suites pin, so byte-identity failures
+// here mean replication bugs, not model noise.
+func testConfig() core.Config {
+	return core.Config{LLM: llm.Config{Seed: 1, ExtractionNoise: 0, BaseHallucination: 0.02, ConflictSensitivity: 0.6}}
+}
+
+// corpusBatches is the case-study corpus split into three ingest batches, so
+// tests exercise multiple shipped records.
+func corpusBatches() [][]adapter.RawFile {
+	files := []adapter.RawFile{
+		{Domain: "flights", Source: "airport-api", Name: "schedule", Format: "csv",
+			Content: []byte("flight,origin,destination,status\nCA981,PEK,JFK,Delayed\n")},
+		{Domain: "flights", Source: "airline-app", Name: "live", Format: "json",
+			Content: []byte(`[{"flight":"CA981","status":"Delayed","delay_reason":"Typhoon"}]`)},
+		{Domain: "flights", Source: "weather-feed", Name: "alerts", Format: "text",
+			Content: []byte("The status of CA981 is Delayed. The delay reason of CA981 is Typhoon.")},
+		{Domain: "flights", Source: "forum-user", Name: "posts", Format: "text",
+			Content: []byte("The status of CA981 is On time.")},
+	}
+	return [][]adapter.RawFile{files[:2], files[2:3], files[3:]}
+}
+
+// fillerBatch builds one batch about entities unrelated to the base corpus,
+// so concurrent ingest cannot change base-query answers.
+func fillerBatch(i int) []adapter.RawFile {
+	return []adapter.RawFile{{Domain: "flights", Source: "airport-api", Name: fmt.Sprintf("filler-%d", i), Format: "text",
+		Content: []byte(fmt.Sprintf("The status of XX%03d is Scheduled.", i))}}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitCaughtUp waits until every live replica has applied the primary's
+// committed position.
+func waitCaughtUp(t *testing.T, c *Cluster) {
+	t.Helper()
+	waitFor(t, "replicas to catch up", func() bool {
+		committed := c.CommittedLSN()
+		for _, r := range c.Replicas() {
+			if r.State() != StateLive || r.Position() != committed {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func stateBytes(s *core.System) []byte { return s.ServingHandle().Encode() }
+
+// TestClusterReplicasByteIdentical pins the tentpole invariant end to end:
+// replicas fed through the in-process channel hold snapshots byte-identical
+// to the primary's after every batch, verify anti-entropy markers, and
+// answer queries identically.
+func TestClusterReplicasByteIdentical(t *testing.T) {
+	primary := core.NewSystem(testConfig())
+	c, err := New(primary, Config{Replicas: 3, VerifyEvery: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+
+	for _, b := range corpusBatches() {
+		if _, err := primary.Ingest(b); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+	waitCaughtUp(t, c)
+
+	want := stateBytes(primary)
+	wantAns := primary.Query("What is the status of CA981?")
+	for _, r := range c.Replicas() {
+		if !bytes.Equal(stateBytes(r.System()), want) {
+			t.Fatalf("%s snapshot differs from primary", r.Name())
+		}
+		got := r.AskEach([]context.Context{nil}, []string{"What is the status of CA981?"})[0]
+		if got.Found != wantAns.Found || len(got.Values) != len(wantAns.Values) || got.Values[0] != wantAns.Values[0] {
+			t.Fatalf("%s answer %+v differs from primary %+v", r.Name(), got, wantAns)
+		}
+		st := r.Status(c.CommittedLSN())
+		if st.Verified == 0 {
+			t.Fatalf("%s verified no anti-entropy markers: %+v", r.Name(), st)
+		}
+		if st.Divergences != 0 || st.Resyncs != 0 {
+			t.Fatalf("%s fenced on a healthy feed: %+v", r.Name(), st)
+		}
+	}
+}
+
+// TestClusterOverflowFencesAndResyncs pins at-most-once delivery: a pump
+// hung at the feed fault point backs its one-slot queue up until frames
+// drop; on release the replica sees the LSN gap, fences, resyncs from the
+// primary's snapshot, and converges byte-identical.
+func TestClusterOverflowFencesAndResyncs(t *testing.T) {
+	defer fault.Reset()
+	primary := core.NewSystem(testConfig())
+	c, err := New(primary, Config{Replicas: 1, VerifyEvery: -1, QueueLen: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	r := c.Replicas()[0]
+
+	batches := corpusBatches()
+	if _, err := primary.Ingest(batches[0]); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	waitCaughtUp(t, c)
+
+	fault.Enable(fault.PointClusterFeed, fault.Fault{Kind: fault.KindHang})
+	if _, err := primary.Ingest(batches[1]); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	waitFor(t, "pump to hang on the fault", func() bool { return fault.Hits(fault.PointClusterFeed) >= 1 })
+	// The pump holds one frame; the queue holds one more; the rest drop.
+	for i := 0; i < 3; i++ {
+		if _, err := primary.Ingest(fillerBatch(i)); err != nil {
+			t.Fatalf("Ingest filler: %v", err)
+		}
+	}
+	waitFor(t, "queue overflow", func() bool { return r.Status(c.CommittedLSN()).Dropped > 0 })
+	fault.Disable(fault.PointClusterFeed)
+
+	// A dropped frame only surfaces when a later frame exposes the LSN gap —
+	// and that later frame can itself be dropped while the pump drains the
+	// backlog. Keep committing until the replica fences and resyncs.
+	poke := 100
+	waitFor(t, "fence and resync after dropped frames", func() bool {
+		if r.Status(c.CommittedLSN()).Resyncs >= 1 {
+			return true
+		}
+		if _, err := primary.Ingest(fillerBatch(poke)); err != nil {
+			t.Fatalf("Ingest poke: %v", err)
+		}
+		poke++
+		return false
+	})
+	waitCaughtUp(t, c)
+	st := r.Status(c.CommittedLSN())
+	if st.Resyncs == 0 {
+		t.Fatalf("replica never resynced after dropped frames: %+v", st)
+	}
+	if !bytes.Equal(stateBytes(r.System()), stateBytes(primary)) {
+		t.Fatal("resynced replica differs from primary")
+	}
+}
+
+// TestClusterAntiEntropyCatchesDivergence pins the verification tier:
+// a replica whose state is silently corrupted (reseeded with a snapshot
+// that never came from this primary) passes LSN checks but fails the next
+// digest marker, self-fences, and rejoins byte-identical.
+func TestClusterAntiEntropyCatchesDivergence(t *testing.T) {
+	primary := core.NewSystem(testConfig())
+	c, err := New(primary, Config{Replicas: 1, VerifyEvery: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	r := c.Replicas()[0]
+
+	batches := corpusBatches()
+	if _, err := primary.Ingest(batches[0]); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	waitCaughtUp(t, c)
+
+	// Corrupt the replica in place: seed it with a different engine's state
+	// at the same position. Position checks cannot see this.
+	other := core.NewSystem(testConfig())
+	if _, err := other.Ingest(fillerBatch(999)); err != nil {
+		t.Fatalf("Ingest other: %v", err)
+	}
+	if err := r.System().SeedReplica(stateBytes(other), r.Position()); err != nil {
+		t.Fatalf("corrupting seed: %v", err)
+	}
+
+	if _, err := primary.Ingest(batches[1]); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	waitFor(t, "anti-entropy divergence", func() bool { return r.Status(c.CommittedLSN()).Divergences >= 1 })
+	waitCaughtUp(t, c)
+	if !bytes.Equal(stateBytes(r.System()), stateBytes(primary)) {
+		t.Fatal("replica differs from primary after divergence resync")
+	}
+}
+
+// TestClusterProbeReflectsState pins the router's re-admission contract.
+func TestClusterProbeReflectsState(t *testing.T) {
+	defer fault.Reset()
+	primary := core.NewSystem(testConfig())
+	c, err := New(primary, Config{Replicas: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	r := c.Replicas()[0]
+
+	if err := r.Probe(context.Background()); err != nil {
+		t.Fatalf("probe on live replica: %v", err)
+	}
+	r.state.Store(int32(StateFenced))
+	if err := r.Probe(context.Background()); err == nil || !strings.Contains(err.Error(), "fenced") {
+		t.Fatalf("probe on fenced replica = %v, want fenced error", err)
+	}
+	r.state.Store(int32(StateLive))
+	fault.Enable(fault.PointClusterProbe, fault.Fault{Kind: fault.KindError})
+	if err := r.Probe(context.Background()); err == nil {
+		t.Fatal("probe ignored the injected fault")
+	}
+	fault.Disable(fault.PointClusterProbe)
+	if err := r.Probe(context.Background()); err != nil {
+		t.Fatalf("probe after fault cleared: %v", err)
+	}
+}
+
+// TestClusterDurablePrimaryLeasesWAL pins the retention contract end to end:
+// with a hung replica the feed lease holds every WAL segment it still needs
+// across a checkpoint; once the replica resyncs, the next checkpoint prunes.
+func TestClusterDurablePrimaryLeasesWAL(t *testing.T) {
+	defer fault.Reset()
+	fs := wal.NewMemFS()
+	const dir = "data"
+	primary, _, err := core.OpenFS(fs, dir, testConfig())
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	defer primary.Close()
+	c, err := New(primary, Config{Replicas: 1, VerifyEvery: -1, QueueLen: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	r := c.Replicas()[0]
+
+	// Hang the pump so the replica's position pins the lease at 0.
+	fault.Enable(fault.PointClusterFeed, fault.Fault{Kind: fault.KindHang})
+	for _, b := range corpusBatches() {
+		if _, err := primary.Ingest(b); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// The lease (still at 0) must have kept the whole log replayable.
+	sr, err := wal.Scan(fs, dir, 0)
+	if err != nil {
+		t.Fatalf("Scan under lease: %v", err)
+	}
+	if len(sr.Records) != 3 {
+		t.Fatalf("leased scan found %d records, want 3", len(sr.Records))
+	}
+
+	fault.Disable(fault.PointClusterFeed)
+	// Frames dropped while hung only surface as a gap when a later frame
+	// arrives; keep committing until the replica resyncs and catches up.
+	poke := 100
+	waitFor(t, "replica to resync and catch up", func() bool {
+		committed := c.CommittedLSN()
+		if r.State() == StateLive && r.Position() == committed {
+			return true
+		}
+		if _, err := primary.Ingest(fillerBatch(poke)); err != nil {
+			t.Fatalf("Ingest poke: %v", err)
+		}
+		poke++
+		return false
+	})
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, n := range names {
+		if n == "wal-0000000000000000.log" {
+			t.Fatalf("genesis segment survived after the lease advanced: %v", names)
+		}
+	}
+	if !bytes.Equal(stateBytes(r.System()), stateBytes(primary)) {
+		t.Fatal("replica of durable primary differs")
+	}
+}
+
+// TestClusterAttachExclusive pins that a second cluster cannot double-attach.
+func TestClusterAttachExclusive(t *testing.T) {
+	primary := core.NewSystem(testConfig())
+	c, err := New(primary, Config{Replicas: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := New(primary, Config{Replicas: 1}); err == nil {
+		t.Fatal("second New attached to an occupied primary")
+	}
+	c.Close()
+	c2, err := New(primary, Config{Replicas: 1})
+	if err != nil {
+		t.Fatalf("New after Close: %v", err)
+	}
+	c2.Close()
+}

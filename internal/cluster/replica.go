@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"multirag/internal/core"
+	"multirag/internal/fault"
+)
+
+// State is a replica's health as its own pump sees it.
+type State int32
+
+const (
+	// StateLive: the replica is applying the feed and serving reads.
+	StateLive State = iota
+	// StateSyncing: the replica is reseeding from the primary's snapshot.
+	StateSyncing
+	// StateFenced: the replica detected a gap, a replay failure, or an
+	// anti-entropy divergence and has taken itself out of service.
+	StateFenced
+)
+
+func (s State) String() string {
+	switch s {
+	case StateLive:
+		return "live"
+	case StateSyncing:
+		return "syncing"
+	case StateFenced:
+		return "fenced"
+	default:
+		return "unknown"
+	}
+}
+
+// ReplicaStatus is one replica's externally visible state.
+type ReplicaStatus struct {
+	Name    string `json:"name"`
+	State   string `json:"state"`
+	Applied uint64 `json:"applied_lsn"`
+	// Lag is committed-applied at snapshot time (0 when caught up).
+	Lag         uint64 `json:"lag"`
+	Verified    uint64 `json:"verified"`
+	Divergences uint64 `json:"divergences"`
+	Resyncs     uint64 `json:"resyncs"`
+	Dropped     uint64 `json:"dropped_frames"`
+	FenceReason string `json:"fence_reason,omitempty"`
+}
+
+// Replica is one read replica: an in-memory engine built from the primary's
+// config, fed by its own queue, advanced by a single pump goroutine. Queries
+// run concurrently with replays (the engine's snapshots are immutable); only
+// the pump mutates replication state.
+type Replica struct {
+	c      *Cluster
+	name   string
+	sys    *core.System
+	feed   Feed
+	ctx    context.Context // canceled by Cluster.Close; releases hung faults
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu          sync.Mutex
+	next        uint64 // LSN the pump expects to apply next
+	fenceReason string
+
+	state       atomic.Int32
+	applied     atomic.Uint64
+	verified    atomic.Uint64
+	divergences atomic.Uint64
+	resyncs     atomic.Uint64
+}
+
+func newReplica(c *Cluster, name string, sys *core.System, queueLen int) *Replica {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Replica{
+		c:      c,
+		name:   name,
+		sys:    sys,
+		feed:   newChanFeed(queueLen),
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+}
+
+// Name returns the replica's stable identifier ("replica-0", ...).
+func (r *Replica) Name() string { return r.name }
+
+// State returns the replica's current health state.
+func (r *Replica) State() State { return State(r.state.Load()) }
+
+// Position is the replication position the replica has applied through —
+// compared against the primary's CommittedLSN by the staleness guard and the
+// retention lease.
+func (r *Replica) Position() uint64 { return r.applied.Load() }
+
+// System exposes the replica's engine (read-only use: queries, digests).
+func (r *Replica) System() *core.System { return r.sys }
+
+// AskEach answers a batch of queries on the replica's snapshot — the routing
+// target the serving layer dispatches to. The fault point lets chaos tests
+// hang or fail one replica's read path in isolation; an injected error
+// degrades the whole batch (the router counts that as a strike).
+func (r *Replica) AskEach(ctxs []context.Context, queries []string) []core.Answer {
+	ctx := context.Background()
+	for _, qc := range ctxs {
+		if qc != nil {
+			ctx = qc
+			break
+		}
+	}
+	if err := fault.Inject(ctx, fault.PointClusterQuery); err != nil {
+		out := make([]core.Answer, len(queries))
+		for i, q := range queries {
+			out[i] = core.Answer{Query: q, Degraded: true, DegradedReason: err.Error()}
+		}
+		return out
+	}
+	return r.sys.QueryEach(ctxs, queries)
+}
+
+// Probe is the health check the router runs before re-admitting a drained
+// replica: it passes only when the replica is live (not fenced or syncing).
+func (r *Replica) Probe(ctx context.Context) error {
+	if err := fault.Inject(ctx, fault.PointClusterProbe); err != nil {
+		return err
+	}
+	if st := r.State(); st != StateLive {
+		return fmt.Errorf("cluster: %s is %s", r.name, st)
+	}
+	return nil
+}
+
+// Status snapshots the replica's counters against the given committed
+// position.
+func (r *Replica) Status(committed uint64) ReplicaStatus {
+	applied := r.applied.Load()
+	var lag uint64
+	if committed > applied {
+		lag = committed - applied
+	}
+	r.mu.Lock()
+	reason := r.fenceReason
+	r.mu.Unlock()
+	return ReplicaStatus{
+		Name:        r.name,
+		State:       r.State().String(),
+		Applied:     applied,
+		Lag:         lag,
+		Verified:    r.verified.Load(),
+		Divergences: r.divergences.Load(),
+		Resyncs:     r.resyncs.Load(),
+		Dropped:     r.feed.Dropped(),
+		FenceReason: reason,
+	}
+}
+
+// pump is the replica's single apply loop: frames in feed order, one at a
+// time, until the cluster closes.
+func (r *Replica) pump() {
+	defer close(r.done)
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case f, ok := <-r.feed.Frames():
+			if !ok {
+				return
+			}
+			r.handle(f)
+		}
+	}
+}
+
+// handle applies one frame. Every failure mode funnels into fenceAndResync:
+// a feed fault (frame effectively lost), an LSN gap (frames actually lost),
+// a replay fault or error (replica state no longer trusted), or a digest
+// marker that does not match (silent divergence caught by anti-entropy).
+func (r *Replica) handle(f Frame) {
+	if err := fault.Inject(r.ctx, fault.PointClusterFeed); err != nil {
+		r.fenceAndResync(fmt.Sprintf("feed: %v", err))
+		return
+	}
+	r.mu.Lock()
+	next := r.next
+	r.mu.Unlock()
+	if f.Payload == nil { // anti-entropy digest marker
+		if f.LSN != next {
+			r.fenceAndResync(fmt.Sprintf("marker at %d but replica at %d: frames lost", f.LSN, next))
+			return
+		}
+		if got, want := r.sys.SnapshotDigest(), f.Digest(); got != want {
+			r.divergences.Add(1)
+			r.fenceAndResync(fmt.Sprintf("anti-entropy: digest %016x != primary %016x at %d", got, want, f.LSN))
+			return
+		}
+		r.verified.Add(1)
+		return
+	}
+	if f.LSN != next {
+		r.fenceAndResync(fmt.Sprintf("feed gap: record %d but replica at %d", f.LSN, next))
+		return
+	}
+	if err := fault.Inject(r.ctx, fault.PointClusterReplay); err != nil {
+		r.fenceAndResync(fmt.Sprintf("replay: %v", err))
+		return
+	}
+	if err := r.sys.ReplicaApply(f.Payload); err != nil {
+		r.fenceAndResync(fmt.Sprintf("replay: %v", err))
+		return
+	}
+	r.mu.Lock()
+	r.next = f.LSN + 1
+	r.mu.Unlock()
+	r.applied.Store(f.LSN + 1)
+	r.c.advanceLease()
+}
+
+// fenceAndResync takes the replica out of service, discards its queue, and
+// reseeds it from the primary's newest shipped snapshot. The capture is
+// serialized against the feed (captureAndDrain holds the cluster lock), so
+// the reseeded replica resumes at exactly the position the next frame will
+// carry. The expensive parts — encoding and decoding the snapshot — run
+// off-lock; a shutdown in progress skips the resync entirely.
+func (r *Replica) fenceAndResync(reason string) {
+	if r.ctx.Err() != nil {
+		return // closing: hung faults release with ctx errors; don't resync
+	}
+	r.state.Store(int32(StateFenced))
+	r.mu.Lock()
+	r.fenceReason = reason
+	r.mu.Unlock()
+	r.resyncs.Add(1)
+
+	handle, lsn := r.c.captureAndDrain(r)
+	r.state.Store(int32(StateSyncing))
+	if err := r.sys.SeedReplica(handle.Encode(), lsn); err != nil {
+		// A just-encoded snapshot failing to decode means memory corruption;
+		// stay fenced rather than serve from an unknown state.
+		r.state.Store(int32(StateFenced))
+		r.mu.Lock()
+		r.fenceReason = "resync: " + err.Error()
+		r.mu.Unlock()
+		return
+	}
+	r.applied.Store(lsn)
+	r.mu.Lock()
+	r.fenceReason = ""
+	r.mu.Unlock()
+	r.state.Store(int32(StateLive))
+	r.c.advanceLease()
+}

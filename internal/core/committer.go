@@ -263,6 +263,7 @@ func (s *System) commitGroup(group []*prepared) {
 			}
 		}
 		s.snap.Store(next)
+		s.shipGroup(committed)
 		if s.dur != nil {
 			s.dur.maybeRequestCheckpoint(&s.cfg)
 		}

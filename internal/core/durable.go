@@ -133,6 +133,7 @@ func OpenFS(fsys wal.FS, dir string, cfg Config) (*System, *RecoveryInfo, error)
 		return nil, nil, err
 	}
 	s.snap.Store(&snapshot{graph: g, sg: sg, index: ix})
+	s.replPos.Store(log.NextLSN())
 	s.dur = &durable{
 		fs:       fsys,
 		dir:      dir,
@@ -206,8 +207,11 @@ func (s *System) Checkpoint() error {
 	}
 	s.mu.Lock()
 	d.lastCkpt, d.hasCkpt = lsn, true
+	// Pruning honours the lowest replication-feed lease: segments holding
+	// records a lagging replica has not shipped yet survive the checkpoint.
+	floor := s.walLeaseFloorLocked(lsn)
 	s.mu.Unlock()
-	return wal.RemoveBelow(d.fs, d.dir, lsn)
+	return wal.RemoveBelow(d.fs, d.dir, lsn, floor)
 }
 
 // checkpointLoop is the background checkpointer: it waits for threshold

@@ -404,8 +404,11 @@ func TestBackgroundCheckpointThresholdPrunes(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 
-	// After Close the directory holds exactly one checkpoint covering every
-	// record and one empty active segment — everything older is pruned.
+	// After Close the directory holds the final checkpoint covering every
+	// record, the newest older checkpoint (the media-corruption fallback —
+	// see wal.RemoveBelow) with the segments to replay forward from it, and
+	// the empty active segment. Everything unreachable from both recovery
+	// points is pruned.
 	names, err := fs.ReadDir(durDir)
 	if err != nil {
 		t.Fatalf("ReadDir: %v", err)
@@ -419,11 +422,12 @@ func TestBackgroundCheckpointThresholdPrunes(t *testing.T) {
 			segs = append(segs, n)
 		}
 	}
-	if len(ckpts) != 1 || ckpts[0] != "checkpoint-0000000000000003.ckpt" {
-		t.Fatalf("checkpoints after close = %v, want exactly checkpoint-…3", ckpts)
+	if len(ckpts) != 2 || ckpts[1] != "checkpoint-0000000000000003.ckpt" ||
+		ckpts[0] != "checkpoint-0000000000000002.ckpt" {
+		t.Fatalf("checkpoints after close = %v, want checkpoint-…2 (fallback) and checkpoint-…3", ckpts)
 	}
-	if len(segs) != 1 || segs[0] != "wal-0000000000000003.log" {
-		t.Fatalf("segments after close = %v, want exactly the empty active segment", segs)
+	if len(segs) != 2 || segs[0] != "wal-0000000000000002.log" || segs[1] != "wal-0000000000000003.log" {
+		t.Fatalf("segments after close = %v, want the fallback tail and the empty active segment", segs)
 	}
 
 	s2, info := openDurable(t, fs, cfg)

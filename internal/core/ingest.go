@@ -275,15 +275,17 @@ func (s *System) ingestSerialized(files []adapter.RawFile) (IngestReport, error)
 		}
 		rep.Homologous = next.sg.RecomputeStats()
 	}
+	group := []*prepared{{work: work}}
 	if s.dur != nil {
 		// Same durability barrier as the group committer: fsync the batch's
 		// record before acknowledging or publishing it.
-		if err := s.dur.appendGroup([]*prepared{{work: work}}); err != nil {
+		if err := s.dur.appendGroup(group); err != nil {
 			return rep, fmt.Errorf("core: wal append: %w", err)
 		}
 		defer s.dur.maybeRequestCheckpoint(&s.cfg)
 	}
 	s.snap.Store(next)
+	s.shipGroup(group)
 	s.buildReal += time.Since(start)
 	s.buildLLM += s.ingestModel.VirtualLatency() - llmBefore
 	return rep, nil

@@ -202,6 +202,16 @@ type System struct {
 	// dur is the durability state (WAL, checkpointer) of a system opened with
 	// Open/OpenFS; nil for purely in-memory systems. See durable.go.
 	dur *durable
+
+	// replSink, when attached, receives every committed group's WAL record in
+	// commit order (see replication.go). walLeases holds the WAL retention
+	// floors lagging feeds pin. Both are guarded by mu; replPos (the
+	// replication position — commit groups ever published, equal to the WAL
+	// LSN on durable systems) is written under mu but read lock-free by the
+	// router's staleness guard.
+	replSink  ReplicationSink
+	replPos   atomic.Uint64
+	walLeases map[*WALLease]struct{}
 }
 
 // NewSystem builds an empty system from cfg.

@@ -57,6 +57,22 @@ const (
 	// PointServeExecute fires in the serving executor loop, once per formed
 	// batch, before the engine runs it.
 	PointServeExecute = "serve.execute"
+	// PointClusterFeed fires in a replica's feed pump before each delivered
+	// frame. Error faults drop the frame (the replica detects the gap and
+	// fences); hang faults stall the pump until released, backing the feed
+	// queue up behind it.
+	PointClusterFeed = "cluster.feed"
+	// PointClusterReplay fires before a replica replays a shipped record.
+	// Error faults fence the replica (its state can no longer be trusted to
+	// match the feed position), forcing a resync from the primary.
+	PointClusterReplay = "cluster.replay"
+	// PointClusterProbe fires inside a replica health probe — the call the
+	// router uses to re-admit a drained replica.
+	PointClusterProbe = "cluster.probe"
+	// PointClusterQuery fires at the head of a replica's batch query entry
+	// point, so chaos tests can hang or fail a single replica's read path
+	// without touching the primary or its siblings.
+	PointClusterQuery = "cluster.query"
 )
 
 // Kind selects a fault's behaviour.

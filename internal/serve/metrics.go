@@ -59,6 +59,10 @@ type MetricsSnapshot struct {
 	Breakers   []multirag.BreakerInfo  `json:"breakers,omitempty"`
 	Durability multirag.DurabilityInfo `json:"durability"`
 	Recovery   *multirag.RecoveryInfo  `json:"recovery,omitempty"`
+	// Router reports replica routing state — per-replica health, lag,
+	// anti-entropy counters, routing/hedging counters and breaker states —
+	// when the server was configured with a ReplicaSet; nil otherwise.
+	Router *RouterMetrics `json:"router,omitempty"`
 }
 
 // classCounters accumulates one class's outcomes.

@@ -123,6 +123,23 @@ type Config struct {
 	// System being served; it is surfaced on /v1/metrics so operators can see
 	// what the process found on disk without grepping logs.
 	Recovery *multirag.RecoveryInfo
+	// Replicas, when set, routes query batches across the replica set instead
+	// of always serving from the primary. Replication keeps replicas
+	// byte-identical to the primary, so answers are unchanged; routing buys
+	// read scale-out and failover. The server does not own the set — the
+	// caller closes it (after Close, before System.Close).
+	Replicas *multirag.ReplicaSet
+	// Route picks the replica-selection policy: RouteRoundRobin (default),
+	// RouteLeastLoaded or RoutePrimaryOnly. Ignored without Replicas.
+	Route string
+	// HedgeAfter enables hedged reads: a batch still unanswered after this
+	// delay is dispatched to a second target and the first answer wins
+	// (<= 0 disables). Ignored without Replicas.
+	HedgeAfter time.Duration
+	// MaxLag bounds staleness: replicas more than this many commits behind
+	// the primary are not routed to (0 = DefaultMaxLag). Ignored without
+	// Replicas.
+	MaxLag uint64
 }
 
 // Server is a running front door. Create with New, mount Handler on an
@@ -140,7 +157,10 @@ type Server struct {
 	// System.IngestPressure (overridable by tests to force saturation).
 	pressure func() (inflight, capacity int)
 	recovery *multirag.RecoveryInfo
-	mux      *http.ServeMux
+	// router, when non-nil, spreads batches across the configured replica
+	// set with health gating, bounded staleness and optional hedging.
+	router *router
+	mux    *http.ServeMux
 
 	// draining rejects new work with 503 + Retry-After once set (Drain /
 	// Close); executors keeps Close honest — it waits until every executor
@@ -186,6 +206,11 @@ func New(cfg Config) (*Server, error) {
 		pressure:     cfg.System.IngestPressure,
 		recovery:     cfg.Recovery,
 	}
+	rt, err := newRouter(cfg.System, cfg.Replicas, cfg.Route, cfg.HedgeAfter, cfg.MaxLag)
+	if err != nil {
+		return nil, err
+	}
+	s.router = rt
 	var states []*classState
 	for _, c := range classes {
 		if c.Name == "" {
@@ -267,6 +292,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap.Breakers = s.sys.Breakers()
 	snap.Durability = s.sys.Durability()
 	snap.Recovery = s.recovery
+	if s.router != nil {
+		snap.Router = s.router.metricsSnapshot()
+	}
 	return snap
 }
 
@@ -320,6 +348,9 @@ func (s *Server) runBatch(ctxs []context.Context, queries []string) (answers []m
 	// only on fault.Disable/Reset; waiting handlers shed via queue timeout.
 	if err := fault.Inject(context.Background(), fault.PointServeExecute); err != nil {
 		return degradeAll(err.Error())
+	}
+	if s.router != nil {
+		return s.router.run(ctxs, queries)
 	}
 	return s.sys.AskEach(ctxs, queries)
 }

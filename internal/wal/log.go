@@ -276,16 +276,41 @@ func (l *Log) Close() error {
 	return err
 }
 
-// RemoveBelow deletes segments whose records are all below lsn (start of the
-// NEXT segment <= lsn, i.e. this segment ends at or before lsn) and
-// checkpoints older than lsn — the cleanup step after a successful
-// checkpoint at lsn. Stray .tmp files are removed too. Failures here are
-// garbage, not corruption: a later open ignores leftovers.
-func RemoveBelow(fsys FS, dir string, lsn uint64) error {
+// RemoveBelow is the cleanup step after a successful checkpoint at lsn, with
+// two retention guarantees layered on plain "delete what the checkpoint
+// covers":
+//
+//   - Fallback checkpoint: the newest checkpoint OLDER than lsn survives,
+//     along with every segment needed to replay forward from it. If the new
+//     checkpoint is later destroyed by media corruption, recovery falls back
+//     to the older one and replays the longer tail instead of failing.
+//   - Lease floor: no segment containing records at or above floor is
+//     deleted, whatever the checkpoint covers. Replication feeds hold floor
+//     at the slowest replica's position (core.WALLease), so pruning under a
+//     lagging replica never deletes records it has yet to ship.
+//
+// Effectively segments survive down to min(floor, fallback-checkpoint LSN);
+// checkpoints below the fallback, and stray .tmp files, are removed.
+// Failures here are garbage, not corruption: a later open ignores leftovers.
+func RemoveBelow(fsys FS, dir string, lsn, floor uint64) error {
 	names, starts, err := listByStart(fsys, dir, segPrefix, segSuffix)
 	if err != nil {
 		return err
 	}
+	ckNames, ckLSNs, err := listByStart(fsys, dir, ckptPrefix, ckptSuffix)
+	if err != nil {
+		return err
+	}
+	// The fallback checkpoint is the newest one strictly below lsn; with none
+	// on disk there is nothing to replay from, so it does not hold segments.
+	fallback := lsn
+	for i := len(ckLSNs) - 1; i >= 0; i-- {
+		if ckLSNs[i] < lsn {
+			fallback = ckLSNs[i]
+			break
+		}
+	}
+	segFloor := min(lsn, floor, fallback)
 	var firstErr error
 	keep := func(err error) {
 		if firstErr == nil && err != nil {
@@ -297,16 +322,12 @@ func RemoveBelow(fsys FS, dir string, lsn uint64) error {
 		if i+1 < len(names) {
 			end = starts[i+1]
 		}
-		if end <= lsn && starts[i] < lsn {
+		if end <= segFloor && starts[i] < segFloor {
 			keep(fsys.Remove(join(dir, name)))
 		}
 	}
-	ckNames, ckLSNs, err := listByStart(fsys, dir, ckptPrefix, ckptSuffix)
-	if err != nil {
-		return err
-	}
 	for i, name := range ckNames {
-		if ckLSNs[i] < lsn {
+		if ckLSNs[i] < lsn && ckLSNs[i] != fallback {
 			keep(fsys.Remove(join(dir, name)))
 		}
 	}

@@ -387,24 +387,68 @@ func TestRemoveBelow(t *testing.T) {
 	if err := WriteCheckpoint(m, dir, 2, []byte("ck-old")); err != nil {
 		t.Fatal(err)
 	}
-	if err := RemoveBelow(m, dir, 4); err != nil {
+	if err := RemoveBelow(m, dir, 4, 4); err != nil {
 		t.Fatal(err)
 	}
 	names, err := m.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The checkpoint at 2 is the fallback: it survives, and so does the
+	// [2,4) segment needed to replay forward from it. Only the [0,2) segment
+	// is unreachable from every retained recovery point.
 	for _, n := range names {
-		if lsn, ok := parseName(n, segPrefix, segSuffix); ok && lsn < 4 {
-			t.Errorf("covered segment %s survived cleanup", n)
+		if lsn, ok := parseName(n, segPrefix, segSuffix); ok && lsn < 2 {
+			t.Errorf("unreachable segment %s survived cleanup", n)
 		}
-		if lsn, ok := parseName(n, ckptPrefix, ckptSuffix); ok && lsn < 4 {
-			t.Errorf("old checkpoint %s survived cleanup", n)
+		if lsn, ok := parseName(n, ckptPrefix, ckptSuffix); ok && lsn < 2 {
+			t.Errorf("pre-fallback checkpoint %s survived cleanup", n)
 		}
+	}
+	if _, err := m.ReadFile(join(dir, fmt.Sprintf("%s%016x%s", ckptPrefix, 2, ckptSuffix))); err != nil {
+		t.Fatalf("fallback checkpoint removed: %v", err)
 	}
 	sr := scanAll(t, m, dir, 4)
 	if len(sr.Records) != 2 || !bytes.Equal(sr.Records[0], []byte("r4")) {
 		t.Fatalf("post-cleanup scan = %d records", len(sr.Records))
+	}
+	// Replaying from the fallback checkpoint still works: its tail is intact.
+	sr = scanAll(t, m, dir, 2)
+	if len(sr.Records) != 4 || !bytes.Equal(sr.Records[0], []byte("r2")) {
+		t.Fatalf("fallback scan = %d records", len(sr.Records))
+	}
+	l.Close()
+}
+
+func TestRemoveBelowHonoursLeaseFloor(t *testing.T) {
+	m := NewMemFS()
+	dir := "wal"
+	l, err := OpenLog(m, dir, &ScanResult{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(fmt.Appendf(nil, "r%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 1 {
+			if err := l.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := WriteCheckpoint(m, dir, 6, []byte("ck")); err != nil {
+		t.Fatal(err)
+	}
+	// A feed lease at 1 pins every segment from record 1 on, whatever the
+	// checkpoint covers: a replica still at position 1 must be able to replay
+	// the full tail.
+	if err := RemoveBelow(m, dir, 6, 1); err != nil {
+		t.Fatal(err)
+	}
+	sr := scanAll(t, m, dir, 1)
+	if len(sr.Records) != 5 || !bytes.Equal(sr.Records[0], []byte("r1")) {
+		t.Fatalf("leased scan = %d records (want 5 from r1)", len(sr.Records))
 	}
 	l.Close()
 }
